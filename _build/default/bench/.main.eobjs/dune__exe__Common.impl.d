@@ -1,0 +1,1 @@
+bench/common.ml: Adprom Dataset Lazy Printf Unix

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Adprom Attack Common Dataset Lazy List Mlkit Printf

@@ -1,0 +1,1 @@
+bench/exp_adversary.ml: Adprom Attack Common Dataset Lazy List Printf

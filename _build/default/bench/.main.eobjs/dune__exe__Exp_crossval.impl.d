@@ -1,0 +1,1 @@
+bench/exp_crossval.ml: Adprom Attack Common Dataset List Mlkit Printf

@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Adprom Array Attack Common Lazy List Mlkit Printf

@@ -1,0 +1,1 @@
+bench/exp_operations.ml: Adprom Attack Common Dataset Lazy List Mlkit Printf Runtime

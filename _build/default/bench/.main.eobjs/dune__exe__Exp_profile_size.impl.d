@@ -1,0 +1,1 @@
+bench/exp_profile_size.ml: Adprom Array Common Lazy List Printf String

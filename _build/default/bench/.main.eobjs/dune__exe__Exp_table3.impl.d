@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Adprom Analysis Common Lazy List

@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Adprom Array Common Dataset Lazy List

@@ -1,0 +1,1 @@
+bench/exp_table5.ml: Adprom Attack Common Dataset Lazy List Printf

@@ -1,0 +1,1 @@
+bench/exp_table6.ml: Adprom Analysis Common Float Lazy List Printf Runtime String Unix

@@ -1,0 +1,1 @@
+bench/exp_table7.ml: Adprom Attack Common Lazy List Mlkit Printf

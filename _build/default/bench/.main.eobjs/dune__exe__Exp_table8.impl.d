@@ -1,0 +1,1 @@
+bench/exp_table8.ml: Adprom Analysis Applang Common Lazy List Printf

@@ -1,0 +1,1 @@
+bench/exp_tables12.ml: Adprom Analysis Applang Common List Printf

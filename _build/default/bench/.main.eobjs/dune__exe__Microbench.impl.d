@@ -1,0 +1,1 @@
+bench/microbench.ml: Adprom Analysis Analyze Applang Array Bechamel Benchmark Buffer Common Dataset Hashtbl Hmm Instance List Measure Mlkit Printf Runtime Rvalue_args Staged Test Time Toolkit

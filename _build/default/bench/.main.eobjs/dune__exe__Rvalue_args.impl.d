@@ -1,0 +1,1 @@
+bench/rvalue_args.ml: Runtime

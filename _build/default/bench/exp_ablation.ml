@@ -1,0 +1,87 @@
+(* Ablations of the design choices called out in DESIGN.md:
+   - hidden-state clustering on/off (the Sec. V-D speedup claim);
+   - window length n (the paper fixes n = 15 citing prior work). *)
+
+let cluster () =
+  Common.heading "Ablation: hidden-state clustering (Sec. V-D claim)";
+  let app = Dataset.Sir.app4 () in
+  let ds = Adprom.Pipeline.collect app in
+  let rounds = 3 in
+  let run_with max_states =
+    let params =
+      {
+        Adprom.Pipeline.adprom_params with
+        Adprom.Profile.max_states;
+        max_rounds = rounds;
+        patience = rounds;
+      }
+    in
+    let profile, dt = Common.time (fun () -> Adprom.Pipeline.train ~params ds) in
+    (profile, dt /. float_of_int profile.Adprom.Profile.rounds_run)
+  in
+  let clustered, t_clustered = run_with 120 in
+  let full, t_full = run_with 100_000 in
+  let reduction = (t_full -. t_clustered) /. t_full in
+  Adprom.Report.print
+    ~header:[ "configuration"; "hidden states"; "sec/round"; "speedup" ]
+    [
+      [
+        "one state per call site";
+        string_of_int full.Adprom.Profile.clustering.Adprom.Reduction.states;
+        Adprom.Report.float_cell ~digits:2 t_full;
+        "-";
+      ];
+      [
+        "PCA + k-means clustering";
+        string_of_int clustered.Adprom.Profile.clustering.Adprom.Reduction.states;
+        Adprom.Report.float_cell ~digits:2 t_clustered;
+        Adprom.Report.percent_cell reduction;
+      ];
+    ];
+  Printf.printf "\nExpected shape (paper): clustering cuts training time by ~70%%.\n"
+
+let windows () =
+  Common.heading "Ablation: window length n (paper fixes n = 15; A-S3 bursts on App2)";
+  let t = Lazy.force Common.sir_app2 in
+  let ds = t.Common.dataset in
+  let rows =
+    List.map
+      (fun n ->
+        let params = { Adprom.Pipeline.adprom_params with Adprom.Profile.window = n } in
+        let profile = Adprom.Pipeline.train ~params ds in
+        let windows =
+          List.concat_map
+            (fun (_, trace) -> Adprom.Window.of_trace ~window:n trace)
+            ds.Adprom.Pipeline.traces
+        in
+        let rng = Mlkit.Rng.create 77 in
+        let anomalies =
+          Attack.Synthetic.batch ~rng ~legitimate:profile.Adprom.Profile.alphabet
+            ~kind:`S3 ~count:150 windows
+        in
+        let flagged w =
+          (Adprom.Detector.classify profile w).Adprom.Detector.flag <> Adprom.Detector.Normal
+        in
+        let c =
+          List.fold_left
+            (fun acc w -> Adprom.Evaluation.observe acc ~anomalous:false ~flagged:(flagged w))
+            Adprom.Evaluation.empty windows
+        in
+        let c =
+          List.fold_left
+            (fun acc w -> Adprom.Evaluation.observe acc ~anomalous:true ~flagged:(flagged w))
+            c anomalies
+        in
+        [
+          string_of_int n;
+          Adprom.Report.float_cell ~digits:4 (Adprom.Evaluation.fp_rate c);
+          Adprom.Report.float_cell ~digits:4 (Adprom.Evaluation.fn_rate c);
+          Adprom.Report.float_cell ~digits:4 (Adprom.Evaluation.accuracy c);
+        ])
+      [ 6; 10; 15; 30 ]
+  in
+  Adprom.Report.print ~header:[ "n"; "FP rate"; "FN rate"; "accuracy" ] rows
+
+let run () =
+  cluster ();
+  windows ()

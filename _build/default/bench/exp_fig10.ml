@@ -1,0 +1,67 @@
+(* Fig. 10: FN rate vs FP rate for AD-PROM vs Rand-HMM on each SIR
+   subject. Normal scores come from the app's Normal-sequences,
+   anomalous scores from A-S1 sequences (tail replaced by random
+   legitimate calls); the threshold sweep trades FP for FN, and the
+   series is printed at fixed FP grid points as in the figure. *)
+
+let anomaly_count = 250
+let fp_grid = [ 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1 ]
+
+let scores profile windows =
+  Array.of_list (List.map (fun w -> Adprom.Profile.score profile w) windows)
+
+(* FN rate at the largest threshold whose FP rate stays within the
+   budget (scores below threshold are flagged). *)
+let fn_at_fp ~normal ~anomalous budget =
+  let thresholds =
+    Adprom.Evaluation.sweep_thresholds ~normal_scores:normal ~anomalous_scores:anomalous 400
+  in
+  let curve =
+    Adprom.Evaluation.curve ~normal_scores:normal ~anomalous_scores:anomalous ~thresholds
+  in
+  let admissible = List.filter (fun (_, fp, _) -> fp <= budget) curve in
+  match List.rev admissible with
+  | (_, _, fn) :: _ -> fn
+  | [] -> 1.0
+
+let run () =
+  Common.heading "Fig. 10: FN rate vs FP rate, AD-PROM vs Rand-HMM (SIR apps)";
+  List.iter
+    (fun (label, trained) ->
+      let t = Lazy.force trained in
+      let ds = t.Common.dataset in
+      let rng = Mlkit.Rng.create 1234 in
+      let adprom = Lazy.force t.Common.adprom in
+      let rand_hmm = Lazy.force t.Common.rand_hmm in
+      let pool = ds.Adprom.Pipeline.windows in
+      let anomalies =
+        Attack.Synthetic.batch ~rng
+          ~legitimate:adprom.Adprom.Profile.alphabet ~kind:`S1 ~count:anomaly_count pool
+      in
+      let series profile =
+        let normal = scores profile pool in
+        let anomalous = scores profile anomalies in
+        List.map (fun fp -> fn_at_fp ~normal ~anomalous fp) fp_grid
+      in
+      let s_adprom = series adprom in
+      let s_rand = series rand_hmm in
+      let rows =
+        List.map2
+          (fun fp (fn_a, fn_r) ->
+            [
+              Printf.sprintf "%.3f" fp;
+              Adprom.Report.float_cell ~digits:4 fn_a;
+              Adprom.Report.float_cell ~digits:4 fn_r;
+            ])
+          fp_grid
+          (List.combine s_adprom s_rand)
+      in
+      print_newline ();
+      Adprom.Report.print
+        ~title:(Printf.sprintf "Fig. 10 (%s): FN rate at fixed FP rate" label)
+        ~header:[ "FP rate"; "AD-PROM FN"; "Rand-HMM FN" ]
+        rows)
+    (Common.sir_all ());
+  Printf.printf
+    "\nExpected shape (paper): AD-PROM's FN is well below Rand-HMM's at every\n\
+     FP budget, on every application.\n"

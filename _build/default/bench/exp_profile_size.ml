@@ -1,0 +1,21 @@
+(* Profile size (Sec. V-C: "the averaged size of an application's
+   profile is about ~31k"). We serialize each trained CA profile and
+   report the on-disk size. *)
+
+let run () =
+  Common.heading "Profile size (paper: ~31 kB average)";
+  let rows =
+    List.map
+      (fun (label, trained) ->
+        let t = Lazy.force trained in
+        let profile = Lazy.force t.Common.adprom in
+        let serialized = Adprom.Profile_io.to_string profile in
+        [
+          label;
+          string_of_int profile.Adprom.Profile.clustering.Adprom.Reduction.states;
+          string_of_int (Array.length profile.Adprom.Profile.alphabet);
+          Printf.sprintf "%.1f kB" (float_of_int (String.length serialized) /. 1024.0);
+        ])
+      (Common.ca_all ())
+  in
+  Adprom.Report.print ~header:[ "App"; "states"; "observables"; "serialized size" ] rows

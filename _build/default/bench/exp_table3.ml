@@ -1,0 +1,23 @@
+(* Table III: statistics about the CA-dataset. "#states" is the number
+   of distinct call sites in the aggregated pCTM (the hidden-state count
+   before any reduction). *)
+
+let run () =
+  Common.heading "Table III: Statistics about the CA-dataset";
+  let row (label, trained) =
+    let t = Lazy.force trained in
+    let ds = t.Common.dataset in
+    let states =
+      List.length (Analysis.Ctm.calls ds.Adprom.Pipeline.analysis.Analysis.Analyzer.pctm)
+    in
+    [
+      label;
+      string_of_int states;
+      ds.Adprom.Pipeline.app.Adprom.Pipeline.dbms;
+      string_of_int (List.length ds.Adprom.Pipeline.traces);
+      string_of_int (List.length ds.Adprom.Pipeline.windows);
+    ]
+  in
+  Adprom.Report.print
+    ~header:[ "Client App"; "#states"; "DBMS"; "#test cases"; "#sequences" ]
+    (List.map row (Common.ca_all ()))

@@ -1,0 +1,25 @@
+(* Table IV: statistics about the SIR-dataset stand-ins. Coverage is
+   call-site coverage (see DESIGN.md for the substitution note). *)
+
+let run () =
+  Common.heading "Table IV: Statistics about the SIR-dataset";
+  let row (label, trained) =
+    let t = Lazy.force trained in
+    let ds = t.Common.dataset in
+    let coverage =
+      Dataset.Sir.site_coverage ds.Adprom.Pipeline.analysis ds.Adprom.Pipeline.traces
+    in
+    let events =
+      List.fold_left (fun acc (_, tr) -> acc + Array.length tr) 0 ds.Adprom.Pipeline.traces
+    in
+    [
+      label;
+      string_of_int (List.length ds.Adprom.Pipeline.traces);
+      Adprom.Report.percent_cell coverage;
+      string_of_int events;
+      string_of_int (List.length ds.Adprom.Pipeline.windows);
+    ]
+  in
+  Adprom.Report.print
+    ~header:[ "App"; "#Test Cases"; "Site Coverage"; "Trace events"; "Sequences" ]
+    (List.map row (Common.sir_all ()))

@@ -1,0 +1,36 @@
+(* Table VIII: elapsed time of the pre-training steps — building the
+   CFGs, estimating probabilities (CTMs), and aggregating to the pCTM —
+   measured directly on each SIR subject. *)
+
+let run () =
+  Common.heading "Table VIII: Elapsed time to perform training steps (seconds)";
+  let rows =
+    List.map
+      (fun (label, trained) ->
+        let t = Lazy.force trained in
+        let source = t.Common.dataset.Adprom.Pipeline.app.Adprom.Pipeline.source in
+        let program = Applang.Parser.parse_program source in
+        let (cfgs, _), t_cfg =
+          Common.time (fun () -> Analysis.Cfg_build.build_program program)
+        in
+        let _labels, t_taint = Common.time (fun () -> Analysis.Taint.analyze cfgs) in
+        let ctms, t_prob = Common.time (fun () -> Analysis.Forecast.ctms cfgs) in
+        let callgraph = Analysis.Callgraph.build cfgs in
+        let _pctm, t_agg =
+          Common.time (fun () -> Analysis.Aggregate.program_ctm ctms callgraph ~entry:"main")
+        in
+        [
+          label;
+          Adprom.Report.float_cell ~digits:4 t_cfg;
+          Adprom.Report.float_cell ~digits:4 (t_prob +. t_taint);
+          Adprom.Report.float_cell ~digits:4 t_agg;
+          Adprom.Report.float_cell ~digits:1 !(t.Common.train_seconds);
+        ])
+      (Common.sir_all ())
+  in
+  Adprom.Report.print
+    ~header:[ "Time (sec)"; "Build CFG"; "Probabilities Est."; "Aggregation"; "HMM training" ]
+    rows;
+  Printf.printf
+    "\n(HMM training time is 0.0 if the Fig. 10 / Table VII experiments were\n\
+     not run in the same invocation; run `all` for the full picture.)\n"

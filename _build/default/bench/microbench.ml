@@ -1,0 +1,82 @@
+(* Bechamel micro-benchmarks of the computational kernels behind the
+   paper's timing tables: one Test.make per table/figure workload.
+
+   - table6/*: one intercepted library call under AD-PROM's collector vs
+     the simulated ltrace (the per-call costs behind Table VI);
+   - table8/*: CFG construction, probability forecast and aggregation on
+     App_h (the steps of Table VIII);
+   - fig10/*: one scaled-forward evaluation and one Baum-Welch round on
+     a mid-sized model (the kernels dominating Fig. 10 / Table VII). *)
+
+open Bechamel
+open Toolkit
+
+let collector_tests () =
+  let hospital = Dataset.Ca_hospital.app () in
+  let analysis = Adprom.Pipeline.analyze_app hospital in
+  let symbol = Analysis.Symbol.lib "printf" in
+  let args = [ Rvalue_args.sample ] in
+  let adprom_collector, _ = Runtime.Collector.adprom () in
+  let symtab = Runtime.Ltrace.symtab_of_cfgs analysis.Analysis.Analyzer.cfgs in
+  let ltrace_collector, _, log = Runtime.Ltrace.make ~symtab in
+  [
+    Test.make ~name:"table6/adprom-collector-emit"
+      (Staged.stage (fun () ->
+           adprom_collector.Runtime.Collector.emit ~symbol ~caller:"main" ~block:12 ~args));
+    Test.make ~name:"table6/ltrace-emit"
+      (Staged.stage (fun () ->
+           if Buffer.length log > 1_000_000 then Buffer.clear log;
+           ltrace_collector.Runtime.Collector.emit ~symbol ~caller:"main" ~block:12 ~args));
+  ]
+
+let analysis_tests () =
+  let source = Dataset.Ca_supermarket.source in
+  let program = Applang.Parser.parse_program source in
+  let cfgs, _ = Analysis.Cfg_build.build_program program in
+  let ctms = Analysis.Forecast.ctms cfgs in
+  let callgraph = Analysis.Callgraph.build cfgs in
+  [
+    Test.make ~name:"table8/build-cfg"
+      (Staged.stage (fun () -> ignore (Analysis.Cfg_build.build_program program)));
+    Test.make ~name:"table8/probability-forecast"
+      (Staged.stage (fun () -> ignore (Analysis.Forecast.ctms cfgs)));
+    Test.make ~name:"table8/aggregation"
+      (Staged.stage (fun () ->
+           ignore (Analysis.Aggregate.program_ctm ctms callgraph ~entry:"main")));
+  ]
+
+let hmm_tests () =
+  let rng = Mlkit.Rng.create 5 in
+  let model = Hmm.random ~rng ~n:40 ~m:30 in
+  let seq = Array.init 15 (fun i -> i mod 30) in
+  let weighted = List.init 50 (fun i -> (Array.map (fun o -> (o + i) mod 30) seq, 1.0)) in
+  [
+    Test.make ~name:"fig10/forward-window15"
+      (Staged.stage (fun () -> ignore (Hmm.per_symbol_score model seq)));
+    Test.make ~name:"fig10/baum-welch-round-50seq"
+      (Staged.stage (fun () -> ignore (Hmm.baum_welch_step model weighted)));
+  ]
+
+let run () =
+  Common.heading "Micro-benchmarks (Bechamel): kernels behind Tables VI/VIII and Fig. 10";
+  let tests =
+    Test.make_grouped ~name:"adprom"
+      (collector_tests () @ analysis_tests () @ hmm_tests ())
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some (v :: _) -> Printf.sprintf "%.1f" v
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Adprom.Report.print
+    ~header:[ "kernel"; "ns/run" ]
+    (List.sort compare !rows)

@@ -1,0 +1,2 @@
+(* A representative argument value for the collector micro-benchmarks. *)
+let sample = Runtime.Rvalue.str "SELECT id, name, balance FROM clients WHERE id = 105"

@@ -1,0 +1,276 @@
+(* adprom — command-line front end.
+
+   Subcommands:
+     analyze  <file>   static phase: CFGs, DDG labels, CTMs, pCTM
+     run      <file>   interpret a program, printing the call trace
+     demo     <app>    train on a built-in app and replay its attack
+     list-apps         list the built-in subject applications *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let builtin_apps () =
+  [
+    ("hospital", Dataset.Ca_hospital.app ());
+    ("banking", Dataset.Ca_banking.app ());
+    ("supermarket", Dataset.Ca_supermarket.app ());
+    ("grep", Dataset.Sir.app1 ());
+    ("gzip", Dataset.Sir.app2 ());
+    ("sed", Dataset.Sir.app3 ());
+    ("bash", Dataset.Sir.app4 ());
+    ("webportal", Dataset.Web_portal.app ());
+  ]
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd_run file verbose dot_dir =
+  let source = read_file file in
+  let program = Applang.Parser.parse_program source in
+  let analysis = Analysis.Analyzer.analyze program in
+  Printf.printf "functions: %d\n" (List.length analysis.Analysis.Analyzer.cfgs);
+  List.iter
+    (fun (name, cfg) ->
+      Printf.printf "  %-24s %3d blocks, %2d call sites\n" name
+        (List.length (Analysis.Cfg.node_ids cfg))
+        (List.length (Analysis.Cfg.call_nodes cfg)))
+    analysis.Analysis.Analyzer.cfgs;
+  let labeled = analysis.Analysis.Analyzer.taint.Analysis.Taint.labeled_blocks in
+  Printf.printf "DB-output labels (DDG): %s\n"
+    (if labeled = [] then "none"
+     else String.concat ", " (List.map (Printf.sprintf "block %d") labeled));
+  Printf.printf "pCTM: %d call sites, invariants hold: %b\n"
+    (List.length (Analysis.Ctm.calls analysis.Analysis.Analyzer.pctm))
+    (Analysis.Ctm.conserved analysis.Analysis.Analyzer.pctm);
+  if verbose then begin
+    print_endline "--- pCTM ---";
+    Format.printf "%a@." Analysis.Ctm.pp analysis.Analysis.Analyzer.pctm
+  end;
+  (match dot_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let write name contents =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc contents;
+        close_out oc
+      in
+      List.iter
+        (fun (name, cfg) -> write (name ^ ".dot") (Analysis.Export.cfg_to_dot cfg))
+        analysis.Analysis.Analyzer.cfgs;
+      write "pctm.dot" (Analysis.Export.ctm_to_dot analysis.Analysis.Analyzer.pctm);
+      write "callgraph.dot"
+        (Analysis.Export.callgraph_to_dot analysis.Analysis.Analyzer.callgraph);
+      Printf.printf "Graphviz files written to %s/
+" dir);
+  `Ok ()
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"AppLang source file.")
+
+let verbose_flag = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full pCTM.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"DIR" ~doc:"Write Graphviz files (CFGs, pCTM, call graph) to DIR.")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Statically analyze an AppLang program (CFG, DDG, pCTM).")
+    Term.(ret (const analyze_cmd_run $ file_arg $ verbose_flag $ dot_arg))
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_cmd_run file inputs show_trace =
+  let source = read_file file in
+  let program = Applang.Parser.parse_program source in
+  let analysis = Analysis.Analyzer.analyze program in
+  let engine = Sqldb.Engine.create () in
+  let tc = Runtime.Testcase.make ~input:inputs "cli-run" in
+  let trace, outcome = Runtime.Interp.collect_trace ~analysis ~engine tc in
+  print_string outcome.Runtime.Interp.stdout;
+  (match outcome.Runtime.Interp.status with
+  | Ok () -> ()
+  | Error msg -> Printf.eprintf "runtime error: %s\n" msg);
+  if show_trace then begin
+    Printf.printf "--- trace (%d library calls) ---\n" (Array.length trace);
+    Array.iter
+      (fun (e : Runtime.Collector.event) ->
+        Printf.printf "%-24s from %s\n"
+          (Analysis.Symbol.to_string e.Runtime.Collector.symbol)
+          e.Runtime.Collector.caller)
+      trace
+  end;
+  `Ok ()
+
+let inputs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "i"; "input" ] ~docv:"LINE" ~doc:"A line of scripted stdin (repeatable).")
+
+let trace_flag = Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Print the library-call trace.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret an AppLang program under the Calls Collector.")
+    Term.(ret (const run_cmd_run $ file_arg $ inputs_arg $ trace_flag))
+
+(* --- demo -------------------------------------------------------------- *)
+
+let demo_cmd_run app_name =
+  match List.assoc_opt app_name (builtin_apps ()) with
+  | None ->
+      `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
+  | Some app ->
+      Printf.printf "Collecting normal traces of %s ...\n%!" app.Adprom.Pipeline.name;
+      let dataset = Adprom.Pipeline.collect app in
+      Printf.printf "Training the profile (%d sequences) ...\n%!"
+        (List.length dataset.Adprom.Pipeline.windows);
+      let profile = Adprom.Pipeline.train dataset in
+      Printf.printf "Profile ready: %d states, threshold %.3f\n"
+        profile.Adprom.Profile.clustering.Adprom.Reduction.states
+        profile.Adprom.Profile.threshold;
+      let attacks =
+        List.filter
+          (fun (c : Dataset.Ca_attacks.case) ->
+            c.Dataset.Ca_attacks.app.Adprom.Pipeline.name = app.Adprom.Pipeline.name)
+          (Dataset.Ca_attacks.all ())
+      in
+      if attacks = [] then
+        Printf.printf "(no built-in attack scenario targets this app)\n"
+      else
+        List.iter
+          (fun (c : Dataset.Ca_attacks.case) ->
+            let traces = Attack.Scenario.run c.Dataset.Ca_attacks.scenario app in
+            let verdicts =
+              List.concat_map
+                (fun (_, t) -> List.map snd (Adprom.Detector.monitor profile t))
+                traces
+            in
+            Printf.printf "%s -> %s\n" c.Dataset.Ca_attacks.label
+              (Adprom.Detector.flag_to_string (Adprom.Detector.worst verdicts)))
+          attacks;
+      `Ok ()
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Built-in app name (see list-apps).")
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Train on a built-in app and replay its attack scenarios.")
+    Term.(ret (const demo_cmd_run $ app_arg))
+
+(* --- train ------------------------------------------------------------- *)
+
+let train_cmd_run app_name output =
+  match List.assoc_opt app_name (builtin_apps ()) with
+  | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
+  | Some app ->
+      Printf.printf "Collecting traces and training %s ...\n%!" app.Adprom.Pipeline.name;
+      let dataset = Adprom.Pipeline.collect app in
+      let profile = Adprom.Pipeline.train dataset in
+      Adprom.Profile_io.save profile output;
+      Printf.printf "Profile written to %s (%d states, %d observables, threshold %.3f)\n"
+        output
+        profile.Adprom.Profile.clustering.Adprom.Reduction.states
+        (Array.length profile.Adprom.Profile.alphabet)
+        profile.Adprom.Profile.threshold;
+      `Ok ()
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "app.profile"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the serialized profile.")
+
+let train_cmd =
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a profile for a built-in app and save it to disk.")
+    Term.(ret (const train_cmd_run $ app_arg $ output_arg))
+
+(* --- check ------------------------------------------------------------- *)
+
+let check_cmd_run profile_path file inputs =
+  match Adprom.Profile_io.load profile_path with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
+  | Ok profile ->
+      let source = read_file file in
+      let program = Applang.Parser.parse_program source in
+      let analysis = Analysis.Analyzer.analyze program in
+      let engine = Sqldb.Engine.create () in
+      let tc = Runtime.Testcase.make ~input:inputs "cli-check" in
+      let trace, outcome = Runtime.Interp.collect_trace ~analysis ~engine tc in
+      (match outcome.Runtime.Interp.status with
+      | Ok () -> ()
+      | Error msg -> Printf.eprintf "runtime error: %s\n" msg);
+      let verdicts = Adprom.Detector.monitor profile trace in
+      let worst = Adprom.Detector.worst (List.map snd verdicts) in
+      List.iter
+        (fun ((w : Adprom.Window.t), (v : Adprom.Detector.verdict)) ->
+          if v.Adprom.Detector.flag <> Adprom.Detector.Normal then begin
+            Printf.printf "ALERT %-14s score=%s%s\n"
+              (Adprom.Detector.flag_to_string v.Adprom.Detector.flag)
+              (Adprom.Report.float_cell v.Adprom.Detector.score)
+              (match v.Adprom.Detector.unknown_pair with
+              | Some (caller, sym) ->
+                  Printf.sprintf " (out of context: %s from %s)"
+                    (Analysis.Symbol.to_string sym) caller
+              | None -> "");
+            match Adprom.Detector.explain ~top:1 profile w with
+            | [ s ] ->
+                Printf.printf "      most surprising: %s from %s (position %d)\n"
+                  (Analysis.Symbol.to_string s.Adprom.Detector.symbol)
+                  s.Adprom.Detector.caller s.Adprom.Detector.position
+            | _ -> ()
+          end)
+        verdicts;
+      Printf.printf "%d window(s) scored; overall verdict: %s\n" (List.length verdicts)
+        (Adprom.Detector.flag_to_string worst);
+      `Ok ()
+
+let profile_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROFILE" ~doc:"Serialized profile (see `adprom train`).")
+
+let check_file_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"AppLang source file.")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Monitor one run of a program against a stored profile.")
+    Term.(ret (const check_cmd_run $ profile_arg $ check_file_arg $ inputs_arg))
+
+(* --- list-apps --------------------------------------------------------- *)
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list-apps" ~doc:"List the built-in subject applications.")
+    Term.(
+      ret
+        (const (fun () ->
+             List.iter
+               (fun (key, (app : Adprom.Pipeline.app)) ->
+                 Printf.printf "%-12s %s (%d test cases)\n" key app.Adprom.Pipeline.name
+                   (List.length app.Adprom.Pipeline.test_cases))
+               (builtin_apps ());
+             `Ok ())
+        $ const ()))
+
+let () =
+  let doc = "AD-PROM: anomaly detection against data leakage by application programs" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "adprom" ~doc)
+          [ analyze_cmd; run_cmd; demo_cmd; train_cmd; check_cmd; list_cmd ]))

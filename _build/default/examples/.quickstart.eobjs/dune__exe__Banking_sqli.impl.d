@@ -1,0 +1,1 @@
+examples/banking_sqli.ml: Adprom Analysis Array Attack Dataset Hashtbl List Option Printf Runtime

@@ -1,0 +1,1 @@
+examples/defense_in_depth.ml: Adprom Applang Attack List Printf Runtime Sqldb String

@@ -1,0 +1,1 @@
+examples/hospital_insider.ml: Adprom Applang Attack Dataset List Printf Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adprom Analysis Array List Printf Runtime Sqldb

@@ -1,0 +1,1 @@
+examples/supermarket_patch.ml: Adprom Analysis Array Attack Dataset List Printf Runtime

@@ -1,0 +1,1 @@
+examples/supermarket_patch.mli:

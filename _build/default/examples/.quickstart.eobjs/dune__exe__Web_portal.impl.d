@@ -1,0 +1,1 @@
+examples/web_portal.ml: Adprom Array Dataset List Printf Runtime String

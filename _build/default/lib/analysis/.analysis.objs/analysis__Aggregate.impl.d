@@ -1,0 +1,1 @@
+lib/analysis/aggregate.ml: Callgraph Ctm Hashtbl List Printf Symbol

@@ -1,0 +1,1 @@
+lib/analysis/aggregate.mli: Callgraph Ctm

@@ -1,0 +1,1 @@
+lib/analysis/analyzer.ml: Aggregate Applang Callgraph Cfg Cfg_build Ctm Forecast List Taint

@@ -1,0 +1,1 @@
+lib/analysis/analyzer.mli: Applang Callgraph Cfg Ctm Symbol Taint

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Cfg Hashtbl List Map String

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Applang Format Hashtbl List Option Printf Queue String Symbol

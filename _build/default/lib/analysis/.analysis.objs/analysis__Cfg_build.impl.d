@@ -1,0 +1,1 @@
+lib/analysis/cfg_build.ml: Applang Cfg Hashtbl List

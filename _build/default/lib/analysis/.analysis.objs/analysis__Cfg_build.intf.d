@@ -1,0 +1,1 @@
+lib/analysis/cfg_build.mli: Applang Cfg

@@ -1,0 +1,1 @@
+lib/analysis/ctm.ml: Array Float Format Hashtbl List Symbol

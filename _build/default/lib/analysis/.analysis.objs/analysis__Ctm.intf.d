@@ -1,0 +1,1 @@
+lib/analysis/ctm.mli: Format Symbol

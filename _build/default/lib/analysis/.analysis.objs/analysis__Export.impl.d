@@ -1,0 +1,1 @@
+lib/analysis/export.ml: Buffer Callgraph Cfg Ctm List Printf String Symbol

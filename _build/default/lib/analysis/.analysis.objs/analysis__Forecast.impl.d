@@ -1,0 +1,1 @@
+lib/analysis/forecast.ml: Cfg Ctm Hashtbl List Option Symbol

@@ -1,0 +1,1 @@
+lib/analysis/forecast.mli: Cfg Ctm

@@ -1,0 +1,1 @@
+lib/analysis/symbol.ml: Format Hashtbl Map Printf Set Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/symbol.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/analysis/taint.ml: Applang Array Cfg Hashtbl List Map Queue Set String

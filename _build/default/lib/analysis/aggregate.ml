@@ -1,0 +1,117 @@
+(* In-lining a callee's CTM into a caller's (Sec. IV-C3).
+
+   Model: every occurrence of the [Func callee] symbol in a caller pair
+   is a "box" executing the callee once. Per execution, the box issues
+   its first call k with probability [enter k = fC(eps, k)], or no call
+   at all with probability [q = fC(eps, eps')]; symmetrically its last
+   call is k with probability [leave k = fC(k, eps')]. The caller pair
+   (f, f) ("box directly followed by box", e.g. two consecutive calls)
+   makes chains of empty boxes possible; summing the geometric series
+   with ratio [q * p_ff] (where [p_ff] is the fraction of box exits that
+   feed another box) yields the closed form below. With no self pair it
+   reduces exactly to the paper's cases 1-4, and it preserves the three
+   pCTM invariants in general (property-tested). *)
+
+let inline_callee ~caller ~callee callee_ctm =
+  let fsym = Symbol.Func callee in
+  let inflow_all = Ctm.column caller fsym in
+  let outflow_all = Ctm.row caller fsym in
+  if inflow_all = [] && outflow_all = [] then ()
+  else begin
+    let w_self = Ctm.get caller fsym fsym in
+    let inflow = List.filter (fun (a, _) -> not (Symbol.equal a fsym)) inflow_all in
+    let outflow = List.filter (fun (b, _) -> not (Symbol.equal b fsym)) outflow_all in
+    let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 inflow_all in
+    Ctm.remove_symbol caller fsym;
+    if total > 0.0 then begin
+      let q = Ctm.get callee_ctm Symbol.Entry Symbol.Exit in
+      let p_ff = w_self /. total in
+      let ratio = q *. p_ff in
+      (* ratio >= 1 means boxes are always empty and always chain:
+         the flow can never surface again; drop it. *)
+      if ratio < 1.0 -. 1e-12 then begin
+        let h = 1.0 /. (1.0 -. ratio) in
+        let enter =
+          List.filter (fun (k, _) -> not (Symbol.equal k Symbol.Exit))
+            (Ctm.row callee_ctm Symbol.Entry)
+        in
+        let leave =
+          List.filter (fun (k, _) -> not (Symbol.equal k Symbol.Entry))
+            (Ctm.column callee_ctm Symbol.Exit)
+        in
+        (* Internal callee pairs, scaled by the number of executions. *)
+        Ctm.iter
+          (fun k l w ->
+            if not (Symbol.equal k Symbol.Entry) && not (Symbol.equal l Symbol.Exit) then
+              Ctm.add caller k l (total *. w))
+          callee_ctm;
+        (* Predecessor -> first internal call (through empty chains). *)
+        List.iter
+          (fun (a, va) ->
+            List.iter (fun (k, ek) -> Ctm.add caller a k (va *. ek *. h)) enter)
+          inflow;
+        (* Predecessor -> successor with no call at all. *)
+        List.iter
+          (fun (a, va) ->
+            List.iter
+              (fun (b, vb) -> Ctm.add caller a b (va *. q *. h *. vb /. total))
+              outflow)
+          inflow;
+        (* Last internal call -> successor. *)
+        List.iter
+          (fun (k, lk) ->
+            List.iter (fun (b, vb) -> Ctm.add caller k b (lk *. vb *. h)) outflow)
+          leave;
+        (* Last internal call -> first internal call of the next box
+           (only with a self pair). *)
+        if p_ff > 0.0 then
+          List.iter
+            (fun (k, lk) ->
+              List.iter
+                (fun (l, el) -> Ctm.add caller k l (total *. lk *. p_ff *. el *. h))
+                enter)
+            leave
+      end
+    end
+  end
+
+let program_ctm ctms callgraph ~entry =
+  let find name = List.assoc_opt name ctms in
+  (match find entry with
+  | Some _ -> ()
+  | None -> invalid_arg (Printf.sprintf "Aggregate.program_ctm: no CTM for %s" entry));
+  (* Work on copies, leaf-first so a callee is fully resolved before it
+     is inlined anywhere. *)
+  let resolved : (string, Ctm.t) Hashtbl.t = Hashtbl.create 16 in
+  let leaf_first = List.concat (Callgraph.sccs callgraph) in
+  List.iter
+    (fun name ->
+      match find name with
+      | None -> ()
+      | Some ctm ->
+          let work = Ctm.copy ctm in
+          (* Inline every already-resolved callee. *)
+          List.iter
+            (fun callee ->
+              match Hashtbl.find_opt resolved callee with
+              | Some callee_ctm when callee <> name ->
+                  inline_callee ~caller:work ~callee callee_ctm
+              | Some _ | None -> ())
+            (Callgraph.callees callgraph name);
+          (* Approximate recursion (self and mutual) by one unrolling:
+             eliminate the cyclic call symbols flow-preservingly. *)
+          List.iter
+            (fun partner -> Ctm.eliminate_symbol work (Symbol.Func partner))
+            (Callgraph.recursive_partners callgraph name);
+          (* Calls to functions without bodies degrade to pass-through. *)
+          List.iter
+            (fun s ->
+              match s with
+              | Symbol.Func _ -> Ctm.eliminate_symbol work s
+              | Symbol.Entry | Symbol.Exit | Symbol.Lib _ -> ())
+            (Ctm.symbols work);
+          Hashtbl.replace resolved name work)
+    leaf_first;
+  match Hashtbl.find_opt resolved entry with
+  | Some pctm -> pctm
+  | None -> invalid_arg "Aggregate.program_ctm: entry not resolved"

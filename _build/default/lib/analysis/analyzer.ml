@@ -1,0 +1,23 @@
+type t = {
+  program : Applang.Ast.program;
+  cfgs : (string * Cfg.t) list;
+  callgraph : Callgraph.t;
+  sites : Cfg.Sites.sites;
+  taint : Taint.result;
+  ctms : (string * Ctm.t) list;
+  pctm : Ctm.t;
+}
+
+let analyze ?(entry = "main") program =
+  let cfgs, sites = Cfg_build.build_program program in
+  let callgraph = Callgraph.build cfgs in
+  let taint = Taint.analyze cfgs in
+  let ctms = Forecast.ctms cfgs in
+  let pctm = Aggregate.program_ctm ctms callgraph ~entry in
+  { program; cfgs; callgraph; sites; taint; ctms; pctm }
+
+let labeled_block t bid = List.mem bid t.taint.Taint.labeled_blocks
+
+let block_of_call t expr = Cfg.Sites.block_of t.sites expr
+
+let alphabet t = Ctm.calls t.pctm

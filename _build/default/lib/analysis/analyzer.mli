@@ -1,0 +1,26 @@
+(** The Analyzer component (Sec. IV-B1): everything AD-PROM derives
+    statically from a program, bundled. *)
+
+type t = {
+  program : Applang.Ast.program;
+  cfgs : (string * Cfg.t) list;
+  callgraph : Callgraph.t;
+  sites : Cfg.Sites.sites;  (** call expression -> block id *)
+  taint : Taint.result;  (** DB-output labeling *)
+  ctms : (string * Ctm.t) list;  (** per-function CTMs, post labeling *)
+  pctm : Ctm.t;  (** aggregated program CTM *)
+}
+
+val analyze : ?entry:string -> Applang.Ast.program -> t
+(** Full static phase: CFGs, call graph, taint labeling, probability
+    forecast, aggregation. [entry] defaults to ["main"].
+    @raise Invalid_argument when [entry] is not defined. *)
+
+val labeled_block : t -> int -> bool
+(** Was this block id marked as a DB-output site? *)
+
+val block_of_call : t -> Applang.Ast.expr -> int option
+(** Block id of a (physical) [Call] sub-expression of the program. *)
+
+val alphabet : t -> Symbol.t list
+(** Observable symbols of the pCTM (no Entry/Exit), sorted. *)

@@ -1,0 +1,173 @@
+module Ast = Applang.Ast
+
+type loop_ctx = {
+  after : int;  (** join node following the loop *)
+  cond : int;  (** loop condition node, target of real back edges *)
+  continue_forward : int option;  (** for-loops: the step-entry join *)
+}
+
+type builder = {
+  graph : Cfg.t;
+  counter : int ref;
+  user_funcs : string -> bool;
+  sites : Cfg.Sites.sites;
+  mutable frontier : int list;
+  mutable loops : loop_ctx list;
+}
+
+let new_node b event =
+  let id = !(b.counter) in
+  incr b.counter;
+  Hashtbl.replace b.graph.Cfg.nodes id { Cfg.id; func = b.graph.Cfg.func; event };
+  id
+
+let add_edge b src dst =
+  let push tbl key v =
+    let cur = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+    Hashtbl.replace tbl key (cur @ [ v ])
+  in
+  push b.graph.Cfg.succs src dst;
+  push b.graph.Cfg.preds dst src
+
+let record_back_edge b src dst =
+  b.graph.Cfg.back_edges <- b.graph.Cfg.back_edges @ [ (src, dst) ]
+
+(* Connect every pending frontier node to [id] and make [id] the new
+   frontier. *)
+let attach b id =
+  List.iter (fun f -> add_edge b f id) b.frontier;
+  b.frontier <- [ id ]
+
+(* One node per call of [expr], in evaluation order. *)
+let emit_calls b expr =
+  let emit call_expr =
+    match call_expr with
+    | Ast.Call (callee, args) ->
+        let site =
+          { Cfg.callee; args; call_expr; is_user = b.user_funcs callee; label = None }
+        in
+        let id = new_node b (Cfg.E_call site) in
+        Cfg.Sites.register b.sites call_expr id;
+        attach b id
+    | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Null | Ast.Var _
+    | Ast.Binop _ | Ast.Unop _ | Ast.Index _ ->
+        assert false
+  in
+  List.iter emit (Ast.calls_in_expr expr)
+
+let rec build_stmt b stmt =
+  match stmt with
+  | Ast.Let (x, e) | Ast.Assign (x, e) ->
+      emit_calls b e;
+      attach b (new_node b (Cfg.E_bind (x, e)))
+  | Ast.Expr e -> emit_calls b e
+  | Ast.Return eo ->
+      (match eo with Some e -> emit_calls b e | None -> ());
+      let r = new_node b (Cfg.E_return eo) in
+      attach b r;
+      add_edge b r b.graph.Cfg.exit;
+      b.frontier <- []
+  | Ast.Break -> (
+      match b.loops with
+      | [] -> () (* break outside a loop: ignore, like dead code *)
+      | ctx :: _ ->
+          List.iter (fun f -> add_edge b f ctx.after) b.frontier;
+          b.frontier <- [])
+  | Ast.Continue -> (
+      match b.loops with
+      | [] -> ()
+      | ctx :: _ ->
+          let target = match ctx.continue_forward with Some j -> j | None -> ctx.after in
+          List.iter
+            (fun f ->
+              add_edge b f target;
+              record_back_edge b f ctx.cond)
+            b.frontier;
+          b.frontier <- [])
+  | Ast.If (cond, then_, else_) ->
+      emit_calls b cond;
+      let c = new_node b (Cfg.E_cond cond) in
+      attach b c;
+      let j = new_node b Cfg.E_join in
+      b.frontier <- [ c ];
+      build_block b then_;
+      List.iter (fun f -> add_edge b f j) b.frontier;
+      b.frontier <- [ c ];
+      build_block b else_;
+      List.iter (fun f -> add_edge b f j) b.frontier;
+      b.frontier <- [ j ]
+  | Ast.While (cond, body) ->
+      emit_calls b cond;
+      let c = new_node b (Cfg.E_cond cond) in
+      attach b c;
+      let after = new_node b Cfg.E_join in
+      add_edge b c after;
+      b.frontier <- [ c ];
+      b.loops <- { after; cond = c; continue_forward = None } :: b.loops;
+      build_block b body;
+      (* Statically the body runs once and falls through to [after];
+         the real back edge to [c] is recorded on the side. *)
+      List.iter
+        (fun f ->
+          add_edge b f after;
+          record_back_edge b f c)
+        b.frontier;
+      b.loops <- List.tl b.loops;
+      b.frontier <- [ after ]
+  | Ast.For (init, cond, step, body) ->
+      build_stmt b init;
+      emit_calls b cond;
+      let c = new_node b (Cfg.E_cond cond) in
+      attach b c;
+      let after = new_node b Cfg.E_join in
+      add_edge b c after;
+      let step_entry = new_node b Cfg.E_join in
+      b.frontier <- [ c ];
+      b.loops <- { after; cond = c; continue_forward = Some step_entry } :: b.loops;
+      build_block b body;
+      List.iter (fun f -> add_edge b f step_entry) b.frontier;
+      b.loops <- List.tl b.loops;
+      b.frontier <- [ step_entry ];
+      build_stmt b step;
+      List.iter
+        (fun f ->
+          add_edge b f after;
+          record_back_edge b f c)
+        b.frontier;
+      b.frontier <- [ after ]
+
+and build_block b stmts = List.iter (build_stmt b) stmts
+
+let build_function ~counter ~user_funcs ~sites (f : Ast.func) =
+  let graph =
+    {
+      Cfg.func = f.Ast.name;
+      params = f.Ast.params;
+      entry = -1;
+      exit = -1;
+      nodes = Hashtbl.create 32;
+      succs = Hashtbl.create 32;
+      preds = Hashtbl.create 32;
+      back_edges = [];
+    }
+  in
+  let b = { graph; counter; user_funcs; sites; frontier = []; loops = [] } in
+  let entry = new_node b Cfg.E_entry in
+  let exit = new_node b Cfg.E_exit in
+  let graph = { graph with Cfg.entry; exit } in
+  let b = { b with graph } in
+  b.frontier <- [ entry ];
+  build_block b f.Ast.body;
+  List.iter (fun fr -> add_edge b fr exit) b.frontier;
+  b.frontier <- [];
+  graph
+
+let build_program (p : Ast.program) =
+  let counter = ref 0 in
+  let sites = Cfg.Sites.create () in
+  let names = Ast.func_names p in
+  let user_funcs n = List.mem n names in
+  let cfgs =
+    List.map (fun f -> (f.Ast.name, build_function ~counter ~user_funcs ~sites f)) p.Ast.funcs
+  in
+  (cfgs, sites)

@@ -1,0 +1,181 @@
+module Ast = Applang.Ast
+module Libspec = Applang.Libspec
+module SS = Set.Make (String)
+module SM = Map.Make (String)
+
+type summary = { const_taint : bool; param_taint : bool }
+
+type result = {
+  labeled_blocks : int list;
+  summaries : (string * summary) list;
+}
+
+let rec expr_taint ~tainted ~summary_of (e : Ast.expr) =
+  let sub x = expr_taint ~tainted ~summary_of x in
+  match e with
+  | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Null -> false
+  | Ast.Var v -> tainted v
+  | Ast.Binop (_, a, b) -> sub a || sub b
+  | Ast.Unop (_, a) -> sub a
+  | Ast.Index (a, b) -> sub a || sub b
+  | Ast.Call (name, args) -> (
+      match summary_of name with
+      | Some s -> s.const_taint || (s.param_taint && List.exists sub args)
+      | None -> (
+          match Libspec.taint_of name with
+          | Libspec.Source -> true
+          | Libspec.Propagate -> List.exists sub args
+          | Libspec.Clean -> false))
+
+(* Fixpoint state of the interprocedural analysis. *)
+type state = {
+  summaries : (string, summary) Hashtbl.t;
+  (* actual may-taint of each function's parameters, joined over all
+     call sites seen so far *)
+  entry_taint : (string, bool array) Hashtbl.t;
+}
+
+let summary_of state name = Hashtbl.find_opt state.summaries name
+
+(* Dataflow over one CFG given the taint of its parameters. Returns the
+   per-node IN environments and whether a tainted value may be returned.
+   Back edges participate so loop-carried taint converges. *)
+let intra state (cfg : Cfg.t) (entry_env : SS.t) =
+  let ins : (int, SS.t) Hashtbl.t = Hashtbl.create 32 in
+  let get_in id = match Hashtbl.find_opt ins id with Some s -> s | None -> SS.empty in
+  let transfer id env =
+    match (Cfg.node cfg id).Cfg.event with
+    | Cfg.E_bind (x, e) ->
+        let tainted v = SS.mem v env in
+        if expr_taint ~tainted ~summary_of:(summary_of state) e then SS.add x env
+        else SS.remove x env
+    | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_cond _ | Cfg.E_return _ | Cfg.E_join ->
+        env
+  in
+  let edges id =
+    Cfg.successors cfg id
+    @ List.filter_map (fun (src, dst) -> if src = id then Some dst else None) cfg.Cfg.back_edges
+  in
+  Hashtbl.replace ins cfg.Cfg.entry entry_env;
+  let visited = Hashtbl.create 32 in
+  let work = Queue.create () in
+  Queue.add cfg.Cfg.entry work;
+  while not (Queue.is_empty work) do
+    let id = Queue.pop work in
+    Hashtbl.replace visited id ();
+    let out = transfer id (get_in id) in
+    List.iter
+      (fun succ ->
+        let cur = get_in succ in
+        let joined = SS.union cur out in
+        (* A node must be processed at least once even with an empty
+           environment: taint can be generated (not just propagated). *)
+        if (not (SS.equal joined cur)) || not (Hashtbl.mem visited succ) then begin
+          Hashtbl.replace ins succ joined;
+          Queue.add succ work
+        end)
+      (edges id)
+  done;
+  let ret_taint =
+    List.exists
+      (fun id ->
+        match (Cfg.node cfg id).Cfg.event with
+        | Cfg.E_return (Some e) ->
+            let env = get_in id in
+            expr_taint ~tainted:(fun v -> SS.mem v env) ~summary_of:(summary_of state) e
+        | Cfg.E_return None | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_bind _
+        | Cfg.E_cond _ | Cfg.E_join ->
+            false)
+      (Cfg.node_ids cfg)
+  in
+  (get_in, ret_taint)
+
+let env_of_params (cfg : Cfg.t) flags =
+  List.fold_left
+    (fun (env, i) p -> ((if i < Array.length flags && flags.(i) then SS.add p env else env), i + 1))
+    (SS.empty, 0) cfg.Cfg.params
+  |> fst
+
+let analyze cfgs =
+  let state = { summaries = Hashtbl.create 16; entry_taint = Hashtbl.create 16 } in
+  List.iter
+    (fun (name, cfg) ->
+      Hashtbl.replace state.summaries name { const_taint = false; param_taint = false };
+      Hashtbl.replace state.entry_taint name
+        (Array.make (List.length cfg.Cfg.params) false))
+    cfgs;
+  let changed = ref true in
+  let update_summary name s =
+    if Hashtbl.find state.summaries name <> s then begin
+      Hashtbl.replace state.summaries name s;
+      changed := true
+    end
+  in
+  (* Propagate taint from a caller's dataflow into callee parameter
+     assumptions. *)
+  let propagate_call_sites (cfg : Cfg.t) get_in =
+    List.iter
+      (fun (id, site) ->
+        if site.Cfg.is_user then begin
+          match Hashtbl.find_opt state.entry_taint site.Cfg.callee with
+          | None -> ()
+          | Some flags ->
+              let env = get_in id in
+              let tainted v = SS.mem v env in
+              List.iteri
+                (fun i arg ->
+                  if
+                    i < Array.length flags && (not flags.(i))
+                    && expr_taint ~tainted ~summary_of:(summary_of state) arg
+                  then begin
+                    flags.(i) <- true;
+                    changed := true
+                  end)
+                site.Cfg.args
+        end)
+      (Cfg.call_nodes cfg)
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (name, cfg) ->
+        let nparams = List.length cfg.Cfg.params in
+        let _, ret_clean = intra state cfg SS.empty in
+        let _, ret_all =
+          intra state cfg (env_of_params cfg (Array.make nparams true))
+        in
+        update_summary name { const_taint = ret_clean; param_taint = ret_all };
+        let actual = Hashtbl.find state.entry_taint name in
+        let get_in, _ = intra state cfg (env_of_params cfg actual) in
+        propagate_call_sites cfg get_in)
+      cfgs
+  done;
+  (* Final labeling pass under the converged actual assumptions. *)
+  let labeled = ref [] in
+  List.iter
+    (fun (name, cfg) ->
+      let actual = Hashtbl.find state.entry_taint name in
+      let get_in, _ = intra state cfg (env_of_params cfg actual) in
+      List.iter
+        (fun (id, site) ->
+          site.Cfg.label <- None;
+          if Libspec.is_sink site.Cfg.callee then begin
+            let env = get_in id in
+            let tainted v = SS.mem v env in
+            if
+              List.exists
+                (expr_taint ~tainted ~summary_of:(summary_of state))
+                site.Cfg.args
+            then begin
+              site.Cfg.label <- Some id;
+              labeled := id :: !labeled
+            end
+          end)
+        (Cfg.call_nodes cfg))
+    cfgs;
+  {
+    labeled_blocks = List.sort compare !labeled;
+    summaries =
+      Hashtbl.fold (fun name s acc -> (name, s) :: acc) state.summaries []
+      |> List.sort compare;
+  }

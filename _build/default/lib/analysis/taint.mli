@@ -1,0 +1,34 @@
+(** Static data-dependency analysis (the paper's DDG, Sec. IV-A/IV-C1).
+
+    A forward may-taint dataflow over each CFG (iterated to fixpoint
+    with the real back edges, so loop-carried flows are found), combined
+    with interprocedural summaries: a user function may return targeted
+    data either unconditionally (it contains a source) or only when one
+    of its arguments is tainted.
+
+    The result of [analyze] is the labeling: every output-statement call
+    site whose arguments may carry DB-retrieved data gets
+    [site.label <- Some block_id], turning e.g. [printf] into
+    [printf_Q6] in both the CTMs and the run-time traces. *)
+
+type summary = {
+  const_taint : bool;  (** returns targeted data regardless of inputs *)
+  param_taint : bool;  (** returns targeted data when an argument is tainted *)
+}
+
+type result = {
+  labeled_blocks : int list;  (** block ids labeled as DB-output sites, sorted *)
+  summaries : (string * summary) list;
+}
+
+val expr_taint :
+  tainted:(string -> bool) ->
+  summary_of:(string -> summary option) ->
+  Applang.Ast.expr ->
+  bool
+(** May the expression evaluate to targeted data, given the variable
+    taint environment and user-function summaries? *)
+
+val analyze : (string * Cfg.t) list -> result
+(** Runs the interprocedural fixpoint and {e mutates} the [label] field
+    of sink call sites in the given CFGs. Idempotent. *)

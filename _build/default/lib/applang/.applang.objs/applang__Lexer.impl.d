@@ -1,0 +1,1 @@
+lib/applang/lexer.ml: Buffer List Printf String Token

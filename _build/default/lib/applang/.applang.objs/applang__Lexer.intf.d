@@ -1,0 +1,1 @@
+lib/applang/lexer.mli: Token

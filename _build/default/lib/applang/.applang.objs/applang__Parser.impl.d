@@ -1,0 +1,1 @@
+lib/applang/parser.ml: Ast Lexer List Printf Token

@@ -1,0 +1,1 @@
+lib/applang/pretty.ml: Ast Buffer Format List Printf String

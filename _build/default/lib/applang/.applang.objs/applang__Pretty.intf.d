@@ -1,0 +1,1 @@
+lib/applang/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/applang/token.mli:

@@ -1,0 +1,164 @@
+exception Error of string * int * int
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let keyword_of_ident = function
+  | "fun" -> Some Token.KW_FUN
+  | "let" -> Some Token.KW_LET
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "true" -> Some Token.KW_TRUE
+  | "false" -> Some Token.KW_FALSE
+  | "null" -> Some Token.KW_NULL
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance st;
+      skip_trivia st
+  | Some '/', Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/', Some '*' ->
+      let start_line = st.line and start_col = st.col in
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            close ()
+        | None, _ -> raise (Error ("unterminated block comment", start_line, start_col))
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_string st =
+  let start_line = st.line and start_col = st.col in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> raise (Error ("unterminated string literal", start_line, start_col))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st; loop ()
+        | Some '"' -> Buffer.add_char buf '"'; advance st; loop ()
+        | Some c -> raise (Error (Printf.sprintf "bad escape '\\%c'" c, st.line, st.col))
+        | None -> raise (Error ("unterminated string literal", start_line, start_col)))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let next_token st : Token.located =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk token : Token.located = { token; line; col } in
+  match peek st with
+  | None -> mk Token.EOF
+  | Some c when is_digit c ->
+      let start = st.pos in
+      while (match peek st with Some d -> is_digit d | None -> false) do
+        advance st
+      done;
+      mk (Token.INT (int_of_string (String.sub st.src start (st.pos - start))))
+  | Some c when is_ident_start c ->
+      let start = st.pos in
+      while (match peek st with Some d -> is_ident_char d | None -> false) do
+        advance st
+      done;
+      let ident = String.sub st.src start (st.pos - start) in
+      mk (match keyword_of_ident ident with Some kw -> kw | None -> Token.IDENT ident)
+  | Some '"' -> mk (Token.STRING (lex_string st))
+  | Some c ->
+      let two target token =
+        if peek2 st = Some target then begin
+          advance st;
+          advance st;
+          Some (mk token)
+        end
+        else None
+      in
+      let simple token =
+        advance st;
+        mk token
+      in
+      (match c with
+      | '+' -> simple Token.PLUS
+      | '-' -> simple Token.MINUS
+      | '*' -> simple Token.STAR
+      | '/' -> simple Token.SLASH
+      | '%' -> simple Token.PERCENT
+      | '=' -> (match two '=' Token.EQEQ with Some t -> t | None -> simple Token.ASSIGN)
+      | '!' -> (match two '=' Token.BANGEQ with Some t -> t | None -> simple Token.BANG)
+      | '<' -> (match two '=' Token.LE with Some t -> t | None -> simple Token.LT)
+      | '>' -> (match two '=' Token.GE with Some t -> t | None -> simple Token.GT)
+      | '&' -> (
+          match two '&' Token.AMPAMP with
+          | Some t -> t
+          | None -> raise (Error ("expected '&&'", line, col)))
+      | '|' -> (
+          match two '|' Token.PIPEPIPE with
+          | Some t -> t
+          | None -> raise (Error ("expected '||'", line, col)))
+      | '(' -> simple Token.LPAREN
+      | ')' -> simple Token.RPAREN
+      | '{' -> simple Token.LBRACE
+      | '}' -> simple Token.RBRACE
+      | '[' -> simple Token.LBRACKET
+      | ']' -> simple Token.RBRACKET
+      | ',' -> simple Token.COMMA
+      | ';' -> simple Token.SEMI
+      | c -> raise (Error (Printf.sprintf "unexpected character '%c'" c, line, col)))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let tok = next_token st in
+    match tok.token with
+    | Token.EOF -> List.rev (tok :: acc)
+    | _ -> loop (tok :: acc)
+  in
+  loop []

@@ -1,0 +1,12 @@
+(** Hand-written lexer for AppLang.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    integers, and double-quoted strings with backslash escapes for
+    newline, tab, backslash and double quote. *)
+
+exception Error of string * int * int
+(** [Error (message, line, col)] *)
+
+val tokenize : string -> Token.located list
+(** Tokenize a full source text; the result always ends with [EOF].
+    @raise Error on an unrecognized character or unterminated literal. *)

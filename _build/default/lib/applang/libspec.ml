@@ -1,0 +1,84 @@
+type taint_kind =
+  | Source
+  | Propagate
+  | Clean
+
+type spec = { name : string; taint : taint_kind; is_sink : bool }
+
+let mk name taint is_sink = { name; taint; is_sink }
+
+let all =
+  [
+    (* database: PostgreSQL-style *)
+    mk "db_connect" Clean false;
+    mk "pq_exec" Source false;
+    mk "pq_prepare" Clean false;
+    mk "pq_exec_prepared" Source false;
+    mk "pq_ntuples" Clean false;
+    mk "pq_nfields" Clean false;
+    mk "pq_getvalue" Propagate false;
+    mk "pq_result_status" Clean false;
+    (* database: MySQL-style *)
+    mk "mysql_query" Clean false;
+    mk "mysql_store_result" Source false;
+    mk "mysql_fetch_row" Propagate false;
+    mk "mysql_num_rows" Clean false;
+    mk "mysql_num_fields" Clean false;
+    mk "mysql_prepare" Clean false;
+    mk "mysql_stmt_execute" Source false;
+    (* terminal / file output: the paper's output statements *)
+    mk "printf" Clean true;
+    mk "fprintf" Clean true;
+    mk "sprintf" Propagate true;
+    mk "snprintf" Propagate true;
+    mk "puts" Clean true;
+    mk "fputs" Clean true;
+    mk "fputc" Clean true;
+    mk "fwrite" Clean true;
+    mk "write" Clean true;
+    mk "system" Clean true;
+    (* input *)
+    mk "scanf" Clean false;
+    mk "scanf_int" Clean false;
+    mk "getline" Clean false;
+    mk "fgets" Clean false;
+    mk "feof" Clean false;
+    (* files *)
+    mk "fopen" Clean false;
+    mk "fclose" Clean false;
+    (* strings and misc *)
+    mk "strcpy" Propagate false;
+    mk "strcat" Propagate false;
+    mk "substr" Propagate false;
+    mk "to_string" Propagate false;
+    mk "atoi" Propagate false;
+    mk "strlen" Clean false;
+    mk "strcmp" Clean false;
+    mk "str_contains" Clean false;
+    mk "rand_int" Clean false;
+    mk "exit" Clean false;
+    (* web applications (the paper's future work) *)
+    mk "http_next_request" Clean false;
+    mk "http_method" Clean false;
+    mk "http_path" Clean false;
+    mk "http_param" Clean false;
+    mk "http_respond" Clean true;
+    mk "http_write" Clean true;
+  ]
+
+let table =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace tbl s.name s) all;
+  tbl
+
+let synthetic name = String.length name > 4 && String.sub name 0 4 = "lib_"
+
+let find name =
+  match Hashtbl.find_opt table name with
+  | Some s -> Some s
+  | None -> if synthetic name then Some (mk name Clean false) else None
+
+let is_sink name = match find name with Some s -> s.is_sink | None -> false
+let is_source name = match find name with Some s -> s.taint = Source | None -> false
+let taint_of name = match find name with Some s -> s.taint | None -> Clean
+let is_builtin name = find name <> None

@@ -1,0 +1,31 @@
+(** Specification of AppLang's library calls.
+
+    This is the single source of truth shared by the static analyzer
+    (data-dependency labeling), the interpreter (dynamic taint) and the
+    dataset generators: which builtins {e source} targeted data from the
+    database, which merely {e propagate} taint, and which are {e output
+    statements} (sinks) in the sense of Sec. IV-A of the paper. *)
+
+type taint_kind =
+  | Source  (** returns data retrieved from the DB ([pq_exec], ...) *)
+  | Propagate  (** returns tainted data iff an argument is tainted *)
+  | Clean  (** returns untainted data *)
+
+type spec = { name : string; taint : taint_kind; is_sink : bool }
+
+val find : string -> spec option
+(** [None] for unknown names (user functions or synthetic calls). *)
+
+val is_sink : string -> bool
+(** Output statements: [printf], [fprintf], [sprintf], [snprintf],
+    [fputs], [fputc], [fwrite], [write], [puts], [system]. *)
+
+val is_source : string -> bool
+val taint_of : string -> taint_kind
+(** [Clean] for unknown names. *)
+
+val is_builtin : string -> bool
+(** Known builtin, including the synthetic [lib_*] no-ops used by the
+    SIR-scale program generator. *)
+
+val all : spec list

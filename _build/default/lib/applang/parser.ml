@@ -1,0 +1,288 @@
+exception Error of string * int * int
+
+type state = { mutable toks : Token.located list }
+
+let peek st : Token.located =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { token = Token.EOF; line = 0; col = 0 }
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail (tok : Token.located) msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Token.to_string tok.token), tok.line, tok.col))
+
+let expect st token msg =
+  let t = peek st in
+  if t.token = token then advance st else fail t msg
+
+let expect_ident st msg =
+  let t = peek st in
+  match t.token with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | _ -> fail t msg
+
+(* Expression parsing with precedence climbing. *)
+
+let rec parse_expression st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    match (peek st).token with
+    | Token.PIPEPIPE ->
+        advance st;
+        loop (Ast.Binop (Ast.Or, lhs, parse_and st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  let rec loop lhs =
+    match (peek st).token with
+    | Token.AMPAMP ->
+        advance st;
+        loop (Ast.Binop (Ast.And, lhs, parse_equality st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_equality st =
+  let lhs = parse_comparison st in
+  let rec loop lhs =
+    match (peek st).token with
+    | Token.EQEQ ->
+        advance st;
+        loop (Ast.Binop (Ast.Eq, lhs, parse_comparison st))
+    | Token.BANGEQ ->
+        advance st;
+        loop (Ast.Binop (Ast.Ne, lhs, parse_comparison st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  let rec loop lhs =
+    match (peek st).token with
+    | Token.LT -> advance st; loop (Ast.Binop (Ast.Lt, lhs, parse_additive st))
+    | Token.LE -> advance st; loop (Ast.Binop (Ast.Le, lhs, parse_additive st))
+    | Token.GT -> advance st; loop (Ast.Binop (Ast.Gt, lhs, parse_additive st))
+    | Token.GE -> advance st; loop (Ast.Binop (Ast.Ge, lhs, parse_additive st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    match (peek st).token with
+    | Token.PLUS -> advance st; loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | Token.MINUS -> advance st; loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match (peek st).token with
+    | Token.STAR -> advance st; loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH -> advance st; loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Token.PERCENT -> advance st; loop (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match (peek st).token with
+  | Token.BANG ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | Token.MINUS ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match (peek st).token with
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expression st in
+        expect st Token.RBRACKET "expected ']'";
+        loop (Ast.Index (e, idx))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  let t = peek st in
+  match t.token with
+  | Token.INT n -> advance st; Ast.Int n
+  | Token.STRING s -> advance st; Ast.Str s
+  | Token.KW_TRUE -> advance st; Ast.Bool true
+  | Token.KW_FALSE -> advance st; Ast.Bool false
+  | Token.KW_NULL -> advance st; Ast.Null
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expression st in
+      expect st Token.RPAREN "expected ')'";
+      e
+  | Token.IDENT name -> (
+      advance st;
+      match (peek st).token with
+      | Token.LPAREN ->
+          advance st;
+          let args = parse_args st in
+          Ast.Call (name, args)
+      | _ -> Ast.Var name)
+  | _ -> fail t "expected an expression"
+
+and parse_args st =
+  if (peek st).token = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expression st in
+      match (peek st).token with
+      | Token.COMMA ->
+          advance st;
+          loop (e :: acc)
+      | Token.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> fail (peek st) "expected ',' or ')'"
+    in
+    loop []
+
+(* Simple statements without trailing ';' are shared by for-headers. *)
+let parse_simple st =
+  let t = peek st in
+  match t.token with
+  | Token.KW_LET ->
+      advance st;
+      let name = expect_ident st "expected identifier after 'let'" in
+      expect st Token.ASSIGN "expected '='";
+      Ast.Let (name, parse_expression st)
+  | Token.IDENT name when (match st.toks with _ :: { token = Token.ASSIGN; _ } :: _ -> true | _ -> false) ->
+      advance st;
+      advance st;
+      Ast.Assign (name, parse_expression st)
+  | _ -> Ast.Expr (parse_expression st)
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.token with
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN "expected '(' after 'if'";
+      let cond = parse_expression st in
+      expect st Token.RPAREN "expected ')'";
+      let then_ = parse_block st in
+      let else_ =
+        if (peek st).token = Token.KW_ELSE then begin
+          advance st;
+          if (peek st).token = Token.KW_IF then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      Ast.If (cond, then_, else_)
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN "expected '(' after 'while'";
+      let cond = parse_expression st in
+      expect st Token.RPAREN "expected ')'";
+      Ast.While (cond, parse_block st)
+  | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN "expected '(' after 'for'";
+      let init = parse_simple st in
+      expect st Token.SEMI "expected ';' in for header";
+      let cond = parse_expression st in
+      expect st Token.SEMI "expected ';' in for header";
+      let step = parse_simple st in
+      expect st Token.RPAREN "expected ')'";
+      Ast.For (init, cond, step, parse_block st)
+  | Token.KW_RETURN ->
+      advance st;
+      if (peek st).token = Token.SEMI then begin
+        advance st;
+        Ast.Return None
+      end
+      else begin
+        let e = parse_expression st in
+        expect st Token.SEMI "expected ';' after return";
+        Ast.Return (Some e)
+      end
+  | Token.KW_BREAK ->
+      advance st;
+      expect st Token.SEMI "expected ';' after break";
+      Ast.Break
+  | Token.KW_CONTINUE ->
+      advance st;
+      expect st Token.SEMI "expected ';' after continue";
+      Ast.Continue
+  | _ ->
+      let s = parse_simple st in
+      expect st Token.SEMI "expected ';'";
+      s
+
+and parse_block st =
+  expect st Token.LBRACE "expected '{'";
+  let rec loop acc =
+    if (peek st).token = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_func st =
+  expect st Token.KW_FUN "expected 'fun'";
+  let name = expect_ident st "expected function name" in
+  expect st Token.LPAREN "expected '('";
+  let params =
+    if (peek st).token = Token.RPAREN then begin
+      advance st;
+      []
+    end
+    else
+      let rec loop acc =
+        let p = expect_ident st "expected parameter name" in
+        match (peek st).token with
+        | Token.COMMA ->
+            advance st;
+            loop (p :: acc)
+        | Token.RPAREN ->
+            advance st;
+            List.rev (p :: acc)
+        | _ -> fail (peek st) "expected ',' or ')'"
+      in
+      loop []
+  in
+  let body = parse_block st in
+  { Ast.name; params; body }
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    if (peek st).token = Token.EOF then List.rev acc else loop (parse_func st :: acc)
+  in
+  let funcs = loop [] in
+  { Ast.funcs }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  (match (peek st).token with
+  | Token.EOF -> ()
+  | _ -> fail (peek st) "trailing tokens after expression");
+  e

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for AppLang.
+
+    Grammar (informally):
+    {v
+    program  ::= func*
+    func     ::= "fun" IDENT "(" params? ")" block
+    block    ::= "{" stmt* "}"
+    stmt     ::= "let" IDENT "=" expr ";"
+               | IDENT "=" expr ";"
+               | "if" "(" expr ")" block ("else" (block | if-stmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" simple ";" expr ";" simple ")" block
+               | "return" expr? ";"
+               | "break" ";" | "continue" ";"
+               | expr ";"
+    expr     ::= usual C precedence: || && == != < <= > >= + - * / % ! unary-
+    primary  ::= INT | STRING | true | false | null | IDENT
+               | IDENT "(" args ")" | "(" expr ")" | primary "[" expr "]"
+    v} *)
+
+exception Error of string * int * int
+
+val parse_program : string -> Ast.program
+(** @raise Error with a position on a syntax error.
+    @raise Lexer.Error on a lexical error. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the attack DSL). *)

@@ -1,0 +1,57 @@
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_FUN | KW_LET | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_TRUE | KW_FALSE | KW_NULL
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQEQ | BANGEQ | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | ASSIGN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | EOF
+
+type located = { token : t; line : int; col : int }
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_FUN -> "fun"
+  | KW_LET -> "let"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NULL -> "null"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQEQ -> "=="
+  | BANGEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | BANG -> "!"
+  | ASSIGN -> "="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | EOF -> "<eof>"

@@ -1,0 +1,20 @@
+(** Lexical tokens of AppLang, with source positions for diagnostics. *)
+
+type t =
+  | INT of int
+  | STRING of string
+  | IDENT of string
+  | KW_FUN | KW_LET | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_TRUE | KW_FALSE | KW_NULL
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQEQ | BANGEQ | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | ASSIGN
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | EOF
+
+type located = { token : t; line : int; col : int }
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/attack/mutate.ml: Applang List

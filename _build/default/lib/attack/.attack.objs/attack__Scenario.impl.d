@@ -1,0 +1,1 @@
+lib/attack/scenario.ml: Adprom Applang List Runtime

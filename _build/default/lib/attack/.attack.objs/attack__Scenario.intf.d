@@ -1,0 +1,1 @@
+lib/attack/scenario.mli: Adprom Applang Runtime

@@ -1,0 +1,1 @@
+lib/attack/synthetic.ml: Adprom Analysis Array List Mlkit

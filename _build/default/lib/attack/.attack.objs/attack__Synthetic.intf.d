@@ -1,0 +1,1 @@
+lib/attack/synthetic.mli: Adprom Analysis Mlkit

@@ -1,0 +1,36 @@
+type vector =
+  | Source_change of (Applang.Ast.program -> Applang.Ast.program)
+  | Binary_patch of Runtime.Patch.t list
+  | Malicious_input of (Runtime.Testcase.t -> Runtime.Testcase.t)
+  | Mitm of (string -> string)
+
+type t = {
+  id : string;
+  description : string;
+  vector : vector;
+}
+
+let apply scenario (app : Adprom.Pipeline.app) =
+  match scenario.vector with
+  | Source_change rewrite ->
+      let program = Applang.Parser.parse_program app.Adprom.Pipeline.source in
+      let source = Applang.Pretty.program_to_string (rewrite program) in
+      ({ app with Adprom.Pipeline.source }, [], None)
+  | Binary_patch patches -> (app, patches, None)
+  | Malicious_input poison ->
+      ( {
+          app with
+          Adprom.Pipeline.test_cases =
+            List.map poison app.Adprom.Pipeline.test_cases;
+        },
+        [],
+        None )
+  | Mitm rewrite -> (app, [], Some rewrite)
+
+let run scenario app =
+  let malicious, patches, query_rewriter = apply scenario app in
+  let analysis = Adprom.Pipeline.analyze_app malicious in
+  List.map
+    (fun tc ->
+      (tc, fst (Adprom.Pipeline.run_case ~patches ?query_rewriter ~analysis malicious tc)))
+    malicious.Adprom.Pipeline.test_cases

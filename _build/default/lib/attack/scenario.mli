@@ -1,0 +1,38 @@
+(** Attack scenarios: a subject application turned malicious by one of
+    the five vectors of the evaluation (Sec. V-C). Running a scenario's
+    test cases against the {e original} profile yields the traces the
+    detection experiment (Table V) scores. *)
+
+type vector =
+  | Source_change of (Applang.Ast.program -> Applang.Ast.program)
+      (** attacks 1-3: the attacker edits the source *)
+  | Binary_patch of Runtime.Patch.t list
+      (** attack 4: Dyninst-style injection into the binary *)
+  | Malicious_input of (Runtime.Testcase.t -> Runtime.Testcase.t)
+      (** attack 5: SQL injection through user input *)
+  | Mitm of (string -> string)
+      (** attack 3.2: the query is rewritten on the (unencrypted) wire
+          between client and server; the binary never changes *)
+
+type t = {
+  id : string;
+  description : string;
+  vector : vector;
+}
+
+val apply :
+  t ->
+  Adprom.Pipeline.app ->
+  Adprom.Pipeline.app * Runtime.Patch.t list * (string -> string) option
+(** The malicious variant of the app (source possibly rewritten, test
+    inputs possibly poisoned), the patches to run it under, and the
+    wire-level query rewriter if the vector is a MITM. *)
+
+val run :
+  t ->
+  Adprom.Pipeline.app ->
+  (Runtime.Testcase.t * Runtime.Collector.trace) list
+(** Execute every test case of the malicious variant. Source-changed
+    and patched variants are interpreted under {e their own} analysis
+    (the attacker ships a modified binary); detection still uses the
+    profile trained on the original. *)

@@ -1,0 +1,56 @@
+module Symbol = Analysis.Symbol
+module Window = Adprom.Window
+
+let copy (w : Window.t) =
+  { Window.obs = Array.copy w.Window.obs; callers = Array.copy w.Window.callers }
+
+let a_s1 ~rng ~legitimate (w : Window.t) =
+  if Array.length legitimate = 0 then invalid_arg "Synthetic.a_s1: no legitimate calls";
+  let w = copy w in
+  let n = Array.length w.Window.obs in
+  let tail = min 5 n in
+  for i = n - tail to n - 1 do
+    w.Window.obs.(i) <- Mlkit.Rng.pick rng legitimate
+  done;
+  w
+
+let foreign_calls =
+  [| "evil_exfil"; "evil_dump"; "evil_beacon"; "evil_upload" |]
+
+let a_s2 ~rng (w : Window.t) =
+  let w = copy w in
+  let n = Array.length w.Window.obs in
+  let hits = 1 + Mlkit.Rng.int rng (min 3 n) in
+  for _ = 1 to hits do
+    let pos = Mlkit.Rng.int rng n in
+    w.Window.obs.(pos) <-
+      Symbol.Lib { name = Mlkit.Rng.pick rng foreign_calls; label = None; site = None }
+  done;
+  w
+
+let a_s3 ~rng (w : Window.t) =
+  let w = copy w in
+  let n = Array.length w.Window.obs in
+  if n > 1 then begin
+    (* A harvesting burst: a legitimate call repeated over most of the
+       rest of the window (cf. the fetch/print loops of Figs. 1-2). *)
+    let pos = Mlkit.Rng.int rng (max 1 (n / 2)) in
+    let sym = w.Window.obs.(pos) in
+    let caller = w.Window.callers.(pos) in
+    let len = 5 + Mlkit.Rng.int rng 4 in
+    for i = pos + 1 to min (n - 1) (pos + len) do
+      w.Window.obs.(i) <- sym;
+      w.Window.callers.(i) <- caller
+    done
+  end;
+  w
+
+let batch ~rng ~legitimate ~kind ~count pool =
+  let pool = Array.of_list pool in
+  if Array.length pool = 0 then invalid_arg "Synthetic.batch: empty pool";
+  List.init count (fun _ ->
+      let w = Mlkit.Rng.pick rng pool in
+      match kind with
+      | `S1 -> a_s1 ~rng ~legitimate w
+      | `S2 -> a_s2 ~rng w
+      | `S3 -> a_s3 ~rng w)

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Analysis Array Hmm List Profile Window

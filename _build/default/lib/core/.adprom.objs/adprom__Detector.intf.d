@@ -1,0 +1,1 @@
+lib/core/detector.mli: Analysis Profile Runtime Window

@@ -1,0 +1,1 @@
+lib/core/evaluation.mli: Format

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Analysis Applang List Profile Runtime Sqldb Window

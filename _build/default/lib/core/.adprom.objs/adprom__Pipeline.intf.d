@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Analysis Profile Runtime Sqldb Window

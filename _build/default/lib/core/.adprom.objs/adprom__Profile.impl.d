@@ -1,0 +1,1 @@
+lib/core/profile.ml: Analysis Array Float Hashtbl Hmm List Mlkit Reduction String Threshold Window

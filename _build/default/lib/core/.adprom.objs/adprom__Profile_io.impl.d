@@ -1,0 +1,1 @@
+lib/core/profile_io.ml: Analysis Array Buffer Float Hashtbl Hmm List Mlkit Printf Profile Reduction String

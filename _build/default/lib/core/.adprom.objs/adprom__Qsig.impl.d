@@ -1,0 +1,1 @@
+lib/core/qsig.ml: Hashtbl List Set Sqldb String

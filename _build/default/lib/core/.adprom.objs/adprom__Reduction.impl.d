@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Analysis Array Float Hashtbl Hmm Mlkit

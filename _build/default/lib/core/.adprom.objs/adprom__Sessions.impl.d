@@ -1,0 +1,1 @@
+lib/core/sessions.ml: Array Hashtbl List Mlkit Runtime Window

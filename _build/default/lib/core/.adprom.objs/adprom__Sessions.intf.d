@@ -1,0 +1,1 @@
+lib/core/sessions.mli: Mlkit Runtime Window

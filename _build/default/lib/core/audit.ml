@@ -1,0 +1,37 @@
+type finding =
+  | Unknown_query_signature of string
+  | Tainted_file_command of { path : string; command : string }
+
+let learn outcomes =
+  Qsig.of_runs (List.map (fun (o : Runtime.Interp.outcome) -> o.Runtime.Interp.queries) outcomes)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  n > 0
+  &&
+  let rec probe i = i + n <= h && (String.sub haystack i n = needle || probe (i + 1)) in
+  probe 0
+
+let audit ~qsig (outcome : Runtime.Interp.outcome) =
+  let query_findings =
+    List.map
+      (fun s -> Unknown_query_signature s)
+      (Qsig.unknown_in_run qsig outcome.Runtime.Interp.queries)
+  in
+  let file_findings =
+    List.concat_map
+      (fun command ->
+        List.filter_map
+          (fun path ->
+            if contains ~needle:path command then
+              Some (Tainted_file_command { path; command })
+            else None)
+          outcome.Runtime.Interp.tainted_files)
+      outcome.Runtime.Interp.system_calls
+  in
+  query_findings @ file_findings
+
+let finding_to_string = function
+  | Unknown_query_signature s -> Printf.sprintf "unknown query signature: %s" s
+  | Tainted_file_command { path; command } ->
+      Printf.sprintf "command %S touches labeled file %s" command path

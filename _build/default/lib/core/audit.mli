@@ -1,0 +1,25 @@
+(** Complementary run-level auditing (the mitigations of Sec. VII).
+
+    The HMM detector sees call {e sequences}; two leakage channels it
+    cannot see are covered here:
+
+    - queries whose structure changed while the call sequence did not
+      (mitigated by query-signature profiles, {!Qsig});
+    - targeted data staged into a file and then exfiltrated by a shell
+      command (mitigated by file labeling: the interpreter marks files
+      that received tainted data, and any [system] command mentioning a
+      labeled file is reported). *)
+
+type finding =
+  | Unknown_query_signature of string
+      (** a query signature never seen in training *)
+  | Tainted_file_command of { path : string; command : string }
+      (** a [system] command touching a file that holds targeted data *)
+
+val learn : Runtime.Interp.outcome list -> Qsig.t
+(** Query-signature profile from the training runs' outcomes. *)
+
+val audit : qsig:Qsig.t -> Runtime.Interp.outcome -> finding list
+(** Findings for one monitored run. *)
+
+val finding_to_string : finding -> string

@@ -1,0 +1,53 @@
+type t = {
+  profile : Profile.t;
+  target_fp_rate : float;
+  adjust_every : int;
+  mutable current_threshold : float;
+  mutable seen : int;  (** windows since the last adjustment *)
+  mutable confirmed_fp : int;  (** admin-confirmed false alarms since then *)
+  mutable total_seen : int;
+  mutable total_alarms : int;
+}
+
+let create ?(target_fp_rate = 0.01) ?(adjust_every = 200) profile =
+  {
+    profile;
+    target_fp_rate;
+    adjust_every;
+    current_threshold = profile.Profile.threshold;
+    seen = 0;
+    confirmed_fp = 0;
+    total_seen = 0;
+    total_alarms = 0;
+  }
+
+let threshold t = t.current_threshold
+
+let maybe_adapt t =
+  if t.seen >= t.adjust_every then begin
+    let recent_fp_rate = float_of_int t.confirmed_fp /. float_of_int t.seen in
+    t.current_threshold <-
+      Threshold.adaptive ~current:t.current_threshold ~recent_fp_rate
+        ~target_fp_rate:t.target_fp_rate;
+    t.seen <- 0;
+    t.confirmed_fp <- 0
+  end
+
+let classify t window =
+  let profile = { t.profile with Profile.threshold = t.current_threshold } in
+  let verdict = Detector.classify profile window in
+  t.seen <- t.seen + 1;
+  t.total_seen <- t.total_seen + 1;
+  if verdict.Detector.flag <> Detector.Normal then t.total_alarms <- t.total_alarms + 1;
+  maybe_adapt t;
+  verdict
+
+let monitor_trace t trace =
+  List.map
+    (fun w -> (w, classify t w))
+    (Window.of_trace ~window:t.profile.Profile.params.Profile.window trace)
+
+let report_false_positive t = t.confirmed_fp <- t.confirmed_fp + 1
+
+let windows_seen t = t.total_seen
+let alarms_raised t = t.total_alarms

@@ -1,0 +1,27 @@
+(** Online monitoring with an adaptive threshold (Sec. IV-D: "the
+    security administrator can change the detector's threshold over
+    time to reduce the false positive rate when there are legitimate
+    changes in the program behavior").
+
+    A monitor wraps a trained profile; the administrator feeds back
+    which alarms were false, and every [adjust_every] windows the
+    threshold moves toward the target false-positive rate. *)
+
+type t
+
+val create : ?target_fp_rate:float -> ?adjust_every:int -> Profile.t -> t
+(** Defaults: target 1%%, adjustment every 200 windows. *)
+
+val threshold : t -> float
+(** Current (possibly adapted) threshold. *)
+
+val classify : t -> Window.t -> Detector.verdict
+(** Classify under the current threshold and account the window. *)
+
+val monitor_trace : t -> Runtime.Collector.trace -> (Window.t * Detector.verdict) list
+
+val report_false_positive : t -> unit
+(** Administrator feedback: the latest alarm was legitimate behaviour. *)
+
+val windows_seen : t -> int
+val alarms_raised : t -> int

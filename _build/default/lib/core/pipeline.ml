@@ -1,0 +1,54 @@
+type app = {
+  name : string;
+  source : string;
+  dbms : string;
+  setup_db : Sqldb.Engine.t -> unit;
+  test_cases : Runtime.Testcase.t list;
+}
+
+type dataset = {
+  app : app;
+  analysis : Analysis.Analyzer.t;
+  traces : (Runtime.Testcase.t * Runtime.Collector.trace) list;
+  windows : Window.t list;
+}
+
+let analyze_app app =
+  Analysis.Analyzer.analyze (Applang.Parser.parse_program app.source)
+
+let fresh_engine app =
+  let engine = Sqldb.Engine.create () in
+  app.setup_db engine;
+  engine
+
+let run_case ?(patches = []) ?query_rewriter ?analysis app tc =
+  let analysis = match analysis with Some a -> a | None -> analyze_app app in
+  Runtime.Interp.collect_trace ~patches ?query_rewriter ~analysis
+    ~engine:(fresh_engine app) tc
+
+let collect ?(window = 15) app =
+  let analysis = analyze_app app in
+  let traces =
+    List.map (fun tc -> (tc, fst (run_case ~analysis app tc))) app.test_cases
+  in
+  let windows =
+    List.concat_map (fun (_, trace) -> Window.of_trace ~window trace) traces
+  in
+  { app; analysis; traces; windows }
+
+let adprom_params = Profile.default_params
+
+let cmarkov_params =
+  { Profile.default_params with Profile.use_labels = false; track_callers = false }
+
+let rand_hmm_params = { Profile.default_params with Profile.init = Profile.Init_random }
+
+let train ?(params = adprom_params) dataset =
+  let windows =
+    if params.Profile.window = 15 then dataset.windows
+    else
+      List.concat_map
+        (fun (_, trace) -> Window.of_trace ~window:params.Profile.window trace)
+        dataset.traces
+  in
+  Profile.train ~params ~analysis:dataset.analysis windows

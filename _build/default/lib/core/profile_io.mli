@@ -1,0 +1,18 @@
+(** Profile persistence.
+
+    The paper stores one profile per monitored application (~31 kB on
+    average); this module gives the reproduction the same capability
+    with a simple line-oriented text format, so a profile trained once
+    can be shipped to the monitoring host. The round trip preserves
+    detection behaviour exactly (same alphabet, model, threshold and
+    known pairs). *)
+
+val to_string : Profile.t -> string
+
+val of_string : string -> (Profile.t, string) result
+(** Parse a serialized profile. All failures are returned as [Error]. *)
+
+val save : Profile.t -> string -> unit
+(** Write to a file. *)
+
+val load : string -> (Profile.t, string) result

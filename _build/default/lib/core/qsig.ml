@@ -1,0 +1,34 @@
+module SS = Set.Make (String)
+
+type t = SS.t
+
+let empty = SS.empty
+
+let signature_of sql =
+  match Sqldb.Sql_pp.signature_of_sql sql with
+  | Some s -> s
+  | None -> "<malformed>"
+
+let learn t sql = SS.add (signature_of sql) t
+
+let learn_run t queries = List.fold_left learn t queries
+
+let of_runs runs = List.fold_left learn_run empty runs
+
+let known t sql = SS.mem (signature_of sql) t
+
+let unknown_in_run t queries =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun sql ->
+      let s = signature_of sql in
+      if SS.mem s t || Hashtbl.mem seen s then None
+      else begin
+        Hashtbl.replace seen s ();
+        Some s
+      end)
+    queries
+
+let signatures t = SS.elements t
+
+let cardinality t = SS.cardinal t

@@ -1,0 +1,33 @@
+(** Query-signature profiles — the Sec. VII mitigation for attacks that
+    leave the call sequence intact: "recording queries signatures along
+    with library calls can mitigate this case".
+
+    A signature is the literal-erased canonical form of a statement
+    ({!Sqldb.Sql_pp.signature}); the profile is the set of signatures
+    observed during training. Unparseable texts get the distinguished
+    signature ["<malformed>"] — if training never produced one, a
+    malformed query (e.g. a clumsy injection) is itself anomalous. *)
+
+type t
+
+val empty : t
+
+val learn : t -> string -> t
+(** Add the signature of one raw SQL text. *)
+
+val learn_run : t -> string list -> t
+
+val of_runs : string list list -> t
+(** Profile from the query logs of all training runs. *)
+
+val known : t -> string -> bool
+(** Is this raw SQL's signature in the profile? *)
+
+val unknown_in_run : t -> string list -> string list
+(** Signatures of the run not present in the profile, deduplicated, in
+    first-appearance order. *)
+
+val signatures : t -> string list
+(** Sorted list of learned signatures. *)
+
+val cardinality : t -> int

@@ -1,0 +1,42 @@
+let float_cell ?(digits = 4) v =
+  if v = neg_infinity then "-inf"
+  else if v = infinity then "+inf"
+  else Printf.sprintf "%.*f" digits v
+
+let percent_cell v = Printf.sprintf "%.2f%%" (100.0 *. v)
+
+let table ?title ~header rows =
+  let columns = List.length header in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell row i)))
+      (String.length (List.nth header i))
+      rows
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i w -> Printf.sprintf "%-*s" w (cell row i)) widths)
+  in
+  let rule =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?title ~header rows = print_string (table ?title ~header rows)

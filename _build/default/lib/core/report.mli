@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the benchmark harness and examples,
+    matching the row/column layout of the paper's tables. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** Fixed-width table with a header rule. Rows may be ragged; missing
+    cells render empty. *)
+
+val print : ?title:string -> header:string list -> string list list -> unit
+
+val float_cell : ?digits:int -> float -> string
+(** Compact float formatting (default 4 digits); [neg_infinity] renders
+    as ["-inf"]. *)
+
+val percent_cell : float -> string
+(** [0.783] -> ["78.30%"]. *)

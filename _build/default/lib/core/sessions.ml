@@ -1,0 +1,41 @@
+type tagged = { session : int; event : Runtime.Collector.event }
+
+let interleave ~rng traces =
+  let queues = Array.of_list (List.map (fun t -> (ref 0, t)) traces) in
+  let live () =
+    let alive = ref [] in
+    Array.iteri
+      (fun i (pos, t) -> if !pos < Array.length t then alive := i :: !alive)
+      queues;
+    !alive
+  in
+  let out = ref [] in
+  let rec loop () =
+    match live () with
+    | [] -> ()
+    | alive ->
+        let arr = Array.of_list alive in
+        let i = arr.(Mlkit.Rng.int rng (Array.length arr)) in
+        let pos, t = queues.(i) in
+        out := { session = i; event = t.(!pos) } :: !out;
+        incr pos;
+        loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !out)
+
+let demux tagged =
+  let buckets = Hashtbl.create 8 in
+  Array.iter
+    (fun t ->
+      let cur = match Hashtbl.find_opt buckets t.session with Some l -> l | None -> [] in
+      Hashtbl.replace buckets t.session (t.event :: cur))
+    tagged;
+  Hashtbl.fold (fun s events acc -> (s, Array.of_list (List.rev events)) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let windows_naive ?window tagged =
+  Window.of_trace ?window (Array.map (fun t -> t.event) tagged)
+
+let windows_per_session ?window tagged =
+  List.concat_map (fun (_, trace) -> Window.of_trace ?window trace) (demux tagged)

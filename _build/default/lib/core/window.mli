@@ -1,0 +1,31 @@
+(** n-length call sequences (Sec. IV-D): the unit the Detection Engine
+    scores. A window keeps both the observation symbols and the callers
+    that issued them, so the detector can raise the out-of-context flag
+    for calls issued from unexpected functions. *)
+
+type t = {
+  obs : Analysis.Symbol.t array;  (** observable symbols (site-free) *)
+  callers : string array;
+}
+
+val of_trace : ?window:int -> Runtime.Collector.trace -> t list
+(** Sliding windows of length [window] (default 15), stride 1. A trace
+    shorter than [window] yields a single window with the whole trace;
+    an empty trace yields nothing. *)
+
+val strip_labels : t -> t
+(** Project away DB-output labels (the CMarkov baseline's view). *)
+
+val dedup : t list -> (t * float) list
+(** Deduplicate identical windows, returning multiplicities as weights.
+    Order of first occurrence is preserved. *)
+
+val encode : index:(Analysis.Symbol.t -> int option) -> t -> int array option
+(** Map symbols to alphabet indices; [None] if any symbol is unknown. *)
+
+val contains_labeled_output : t -> bool
+(** Does the window contain a DB-output (labeled) call — the condition
+    for the DL flag? *)
+
+val pairs : t -> (string * Analysis.Symbol.t) list
+(** (caller, observable) pairs of the window. *)

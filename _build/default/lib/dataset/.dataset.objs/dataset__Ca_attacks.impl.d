@@ -1,0 +1,1 @@
+lib/dataset/ca_attacks.ml: Adprom Analysis Applang Array Attack Ca_banking Ca_hospital Ca_supermarket Hashtbl List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/dataset/ca_attacks.mli: Adprom Attack

@@ -1,0 +1,1 @@
+lib/dataset/ca_banking.ml: Adprom List Mlkit Printf Runtime Sqldb

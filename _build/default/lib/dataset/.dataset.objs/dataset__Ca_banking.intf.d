@@ -1,0 +1,1 @@
+lib/dataset/ca_banking.mli: Adprom Runtime

@@ -1,0 +1,1 @@
+lib/dataset/ca_hospital.ml: Adprom Array List Mlkit Printf Runtime Sqldb

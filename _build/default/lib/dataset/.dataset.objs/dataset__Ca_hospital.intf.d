@@ -1,0 +1,1 @@
+lib/dataset/ca_hospital.mli: Adprom Runtime

@@ -1,0 +1,1 @@
+lib/dataset/ca_supermarket.ml: Adprom Array List Mlkit Printf Runtime Sqldb

@@ -1,0 +1,1 @@
+lib/dataset/ca_supermarket.mli: Adprom Runtime

@@ -1,0 +1,1 @@
+lib/dataset/proggen.ml: Buffer List Mlkit Printf Runtime String

@@ -1,0 +1,1 @@
+lib/dataset/proggen.mli: Runtime

@@ -1,0 +1,1 @@
+lib/dataset/sir.ml: Adprom Analysis Array Hashtbl List Mlkit Printf Proggen Runtime Sqldb String

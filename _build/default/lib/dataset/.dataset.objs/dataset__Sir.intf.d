@@ -1,0 +1,1 @@
+lib/dataset/sir.mli: Adprom Analysis Proggen Runtime

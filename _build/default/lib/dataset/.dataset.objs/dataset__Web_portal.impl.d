@@ -1,0 +1,1 @@
+lib/dataset/web_portal.ml: Adprom List Mlkit Printf Runtime Sqldb

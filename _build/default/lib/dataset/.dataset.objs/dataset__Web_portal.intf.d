@@ -1,0 +1,1 @@
+lib/dataset/web_portal.mli: Adprom Runtime

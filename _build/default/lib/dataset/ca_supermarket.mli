@@ -1,0 +1,11 @@
+(** App_s of the CA-dataset: a supermarket management system over the
+    MySQL-style API — the largest of the three client applications
+    (Table III). Point-of-sale, inventory, restocking, pricing,
+    supplier management and reporting. *)
+
+val source : string
+
+val app : ?cases:int -> unit -> Adprom.Pipeline.app
+(** Default 36 test cases. *)
+
+val test_cases : count:int -> seed:int -> Runtime.Testcase.t list

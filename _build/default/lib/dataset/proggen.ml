@@ -1,0 +1,115 @@
+type spec = {
+  seed : int;
+  functions : int;
+  alphabet : int;
+  statements_per_function : int;
+  recursion : bool;
+}
+
+let default =
+  { seed = 11; functions = 18; alphabet = 60; statements_per_function = 7; recursion = true }
+
+let bash_like =
+  { seed = 23; functions = 48; alphabet = 150; statements_per_function = 9; recursion = true }
+
+let generate spec =
+  let rng = Mlkit.Rng.create spec.seed in
+  let buf = Buffer.create 8192 in
+  let lib () = Printf.sprintf "lib_%d" (Mlkit.Rng.int rng spec.alphabet) in
+  let pad depth = String.make (2 * depth) ' ' in
+  (* Functions have a single flat scope, so every generated binder must
+     be globally fresh — reusing a loop variable in a nested loop makes
+     the outer loop spin forever. *)
+  let fresh = ref 0 in
+  let fresh_var prefix =
+    incr fresh;
+    Printf.sprintf "%s%d" prefix !fresh
+  in
+  (* Each function takes one int parameter [x] used for branching, so
+     inputs (and call arguments) steer coverage. *)
+  (* [user_calls] caps outgoing user calls per function and [in_loop]
+     forbids them inside loop bodies: together they keep the dynamic
+     call tree subcritical for every seed. *)
+  let rec emit_stmts ?(in_loop = false) depth budget fn_index user_calls =
+    if budget > 0 then begin
+      let allow_call = (not in_loop) && !user_calls < 2 in
+      let choice = Mlkit.Rng.int rng (if depth >= 3 then 5 else if allow_call then 8 else 7) in
+      (match choice with
+      | 0 | 1 -> Buffer.add_string buf (Printf.sprintf "%s%s(x);\n" (pad depth) (lib ()))
+      | 2 ->
+          Buffer.add_string buf
+            (Printf.sprintf "%slet %s = %s(x) + 1;\n" (pad depth) (fresh_var "v") (lib ()))
+      | 3 ->
+          Buffer.add_string buf
+            (Printf.sprintf "%sif (x %% %d == %d) {\n" (pad depth)
+               (2 + Mlkit.Rng.int rng 4) (Mlkit.Rng.int rng 2));
+          emit_stmts ~in_loop (depth + 1) (budget / 2) fn_index user_calls;
+          Buffer.add_string buf (Printf.sprintf "%s} else {\n" (pad depth));
+          emit_stmts ~in_loop (depth + 1) (budget / 2) fn_index user_calls;
+          Buffer.add_string buf (Printf.sprintf "%s}\n" (pad depth))
+      | 4 ->
+          let bound = 1 + Mlkit.Rng.int rng 3 in
+          let i = fresh_var "i" in
+          Buffer.add_string buf
+            (Printf.sprintf "%sfor (let %s = 0; %s < x %% %d; %s = %s + 1) {\n"
+               (pad depth) i i (bound + 1) i i);
+          emit_stmts ~in_loop:true (depth + 1) (max 1 (budget / 2)) fn_index user_calls;
+          Buffer.add_string buf (Printf.sprintf "%s}\n" (pad depth))
+      | 5 when fn_index + 1 < spec.functions && allow_call ->
+          (* Call a strictly later function (layered call graph). The
+             guard keeps the dynamic call tree subcritical: without it,
+             an average of one call per body explodes combinatorially
+             over dozens of layers. *)
+          incr user_calls;
+          let callee = fn_index + 1 + Mlkit.Rng.int rng (spec.functions - fn_index - 1) in
+          let modulus = 3 + Mlkit.Rng.int rng 3 in
+          Buffer.add_string buf
+            (Printf.sprintf "%sif (x %% %d == %d) {\n%s  f%d(x %% %d);\n%s}\n" (pad depth)
+               modulus (Mlkit.Rng.int rng modulus) (pad depth) callee
+               (2 + Mlkit.Rng.int rng 7) (pad depth))
+      | 6 -> Buffer.add_string buf (Printf.sprintf "%sprintf(\"f%d:%%d\\n\", x);\n" (pad depth) fn_index)
+      | _ -> Buffer.add_string buf (Printf.sprintf "%s%s(x + %d);\n" (pad depth) (lib ()) (Mlkit.Rng.int rng 9)));
+      emit_stmts ~in_loop depth (budget - 1) fn_index user_calls
+    end
+  in
+  for i = 0 to spec.functions - 1 do
+    Buffer.add_string buf (Printf.sprintf "fun f%d(x) {\n" i);
+    if spec.recursion && i mod 13 = 5 then begin
+      (* bounded self recursion (depth <= 7), learned dynamically *)
+      Buffer.add_string buf (Printf.sprintf "  %s(x);\n" (lib ()));
+      Buffer.add_string buf
+        (Printf.sprintf "  if (x > 0 && x < 8) {\n    f%d(x - 1);\n  }\n" i)
+    end;
+    emit_stmts 1 spec.statements_per_function i (ref 0);
+    Buffer.add_string buf "}\n\n"
+  done;
+  Buffer.add_string buf "fun main() {\n";
+  Buffer.add_string buf "  let rounds = scanf_int();\n";
+  Buffer.add_string buf "  if (rounds > 6) {\n    rounds = 6;\n  }\n";
+  Buffer.add_string buf "  for (let r = 0; r < rounds; r = r + 1) {\n";
+  Buffer.add_string buf "    let x = scanf_int();\n";
+  (* Roots spread across the layers, like a shell dispatching into both
+     shallow and deep subsystems; without deep roots the guard chains
+     leave the bottom layers nearly unreachable. *)
+  let roots = max 1 (min 10 spec.functions) in
+  for k = 0 to roots - 1 do
+    let target = k * spec.functions / roots in
+    if k = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "    if (x %% %d == 0) {\n      f%d(x);\n    }" roots target)
+    else
+      Buffer.add_string buf
+        (Printf.sprintf " else if (x %% %d == %d) {\n      f%d(x);\n    }" roots k target)
+  done;
+  Buffer.add_string buf "\n  }\n  printf(\"done\\n\");\n}\n";
+  Buffer.contents buf
+
+let test_cases spec ~count =
+  let rng = Mlkit.Rng.create (spec.seed * 31 + 7) in
+  List.init count (fun case ->
+      let rounds = 1 + Mlkit.Rng.int rng 6 in
+      let input =
+        string_of_int rounds
+        :: List.init rounds (fun _ -> string_of_int (Mlkit.Rng.int rng 1000))
+      in
+      Runtime.Testcase.make ~input ~seed:case (Printf.sprintf "gen-%04d" case))

@@ -1,0 +1,30 @@
+(** Seeded random program generator — the bash-scale subject (App4).
+
+    SIR supplies large real programs with big call alphabets; inside the
+    sealed container we synthesize the same shape: a deterministic
+    program with many functions, a large synthetic library-call alphabet
+    ([lib_0] ... [lib_k]), input-driven branching (so test cases drive
+    coverage), bounded loops and a little recursion. The call graph is
+    layered (function [i] only calls [j > i]) except for the recursive
+    functions, keeping the aggregation honest. *)
+
+type spec = {
+  seed : int;
+  functions : int;  (** number of user functions besides main *)
+  alphabet : int;  (** size of the synthetic lib_* alphabet *)
+  statements_per_function : int;
+  recursion : bool;  (** emit a couple of self-recursive helpers *)
+}
+
+val default : spec
+(** 18 functions, 60-call alphabet — a "sed-sized" program. *)
+
+val bash_like : spec
+(** 48 functions, 150-call alphabet: triggers the hidden-state
+    clustering (Sec. IV-C4 / Sec. V-D of the paper). *)
+
+val generate : spec -> string
+(** AppLang source text; parses and runs for any input script. *)
+
+val test_cases : spec -> count:int -> Runtime.Testcase.t list
+(** Random integer input scripts driving different paths. *)

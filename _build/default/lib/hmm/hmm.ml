@@ -1,0 +1,319 @@
+module Matrix = Mlkit.Matrix
+module Rng = Mlkit.Rng
+
+type t = {
+  n : int;
+  m : int;
+  a : Matrix.t;
+  b : Matrix.t;
+  pi : float array;
+}
+
+let row_stochastic m =
+  let rows, cols = Matrix.dims m in
+  let ok = ref true in
+  for i = 0 to rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let v = Matrix.get m i j in
+      if v < -.1e-12 then ok := false;
+      s := !s +. v
+    done;
+    if Float.abs (!s -. 1.0) > 1e-6 then ok := false
+  done;
+  !ok
+
+let validate t =
+  let an, am = Matrix.dims t.a in
+  let bn, bm = Matrix.dims t.b in
+  if an <> t.n || am <> t.n then Error "A must be n x n"
+  else if bn <> t.n || bm <> t.m then Error "B must be n x m"
+  else if Array.length t.pi <> t.n then Error "pi must have n entries"
+  else if not (row_stochastic t.a) then Error "A rows must sum to 1"
+  else if not (row_stochastic t.b) then Error "B rows must sum to 1"
+  else begin
+    let s = Array.fold_left ( +. ) 0.0 t.pi in
+    if Array.exists (fun p -> p < -.1e-12) t.pi then Error "pi must be non-negative"
+    else if Float.abs (s -. 1.0) > 1e-6 then Error "pi must sum to 1"
+    else Ok ()
+  end
+
+let create ~a ~b ~pi =
+  let n, _ = Matrix.dims a in
+  let _, m = Matrix.dims b in
+  let t = { n; m; a; b; pi } in
+  match validate t with
+  | Ok () -> t
+  | Error msg -> invalid_arg ("Hmm.create: " ^ msg)
+
+let random_stochastic_row rng k =
+  let row = Array.init k (fun _ -> 0.05 +. Rng.float rng 1.0) in
+  let s = Array.fold_left ( +. ) 0.0 row in
+  Array.map (fun v -> v /. s) row
+
+let random ~rng ~n ~m =
+  let a_rows = Array.init n (fun _ -> random_stochastic_row rng n) in
+  let b_rows = Array.init n (fun _ -> random_stochastic_row rng m) in
+  create ~a:(Matrix.of_arrays a_rows) ~b:(Matrix.of_arrays b_rows)
+    ~pi:(random_stochastic_row rng n)
+
+let uniform ~n ~m =
+  let a = Matrix.init n n (fun _ _ -> 1.0 /. float_of_int n) in
+  let b = Matrix.init n m (fun _ _ -> 1.0 /. float_of_int m) in
+  create ~a ~b ~pi:(Array.make n (1.0 /. float_of_int n))
+
+let check_observations t obs =
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= t.m then
+        invalid_arg (Printf.sprintf "Hmm: observation %d outside alphabet of size %d" o t.m))
+    obs
+
+(* Scaled forward pass: [alpha.(t).(i)] is normalized per step and
+   [scale.(t)] holds the pre-normalization sums, so
+   [log P(O) = sum (log scale.(t))]. A zero scale means the prefix is
+   impossible; remaining steps stay zero. *)
+let forward t obs =
+  check_observations t obs;
+  let n = t.n and m = t.m in
+  let adata = t.a.Matrix.data and bdata = t.b.Matrix.data in
+  let len = Array.length obs in
+  let alpha = Array.make_matrix len n 0.0 in
+  let scale = Array.make len 0.0 in
+  if len > 0 then begin
+    let row0 = alpha.(0) and o0 = obs.(0) in
+    for i = 0 to n - 1 do
+      row0.(i) <- t.pi.(i) *. Array.unsafe_get bdata ((i * m) + o0)
+    done;
+    scale.(0) <- Array.fold_left ( +. ) 0.0 row0;
+    if scale.(0) > 0.0 then
+      for i = 0 to n - 1 do
+        row0.(i) <- row0.(i) /. scale.(0)
+      done;
+    for step = 1 to len - 1 do
+      if scale.(step - 1) > 0.0 then begin
+        let prev = alpha.(step - 1) and cur = alpha.(step) in
+        (* row-major streaming over A: cur_j = sum_i prev_i * a_ij *)
+        for i = 0 to n - 1 do
+          let pi_ = Array.unsafe_get prev i in
+          if pi_ > 0.0 then begin
+            let base = i * n in
+            for j = 0 to n - 1 do
+              Array.unsafe_set cur j
+                (Array.unsafe_get cur j +. (pi_ *. Array.unsafe_get adata (base + j)))
+            done
+          end
+        done;
+        let o = obs.(step) in
+        let total = ref 0.0 in
+        for j = 0 to n - 1 do
+          let v = Array.unsafe_get cur j *. Array.unsafe_get bdata ((j * m) + o) in
+          Array.unsafe_set cur j v;
+          total := !total +. v
+        done;
+        scale.(step) <- !total;
+        if !total > 0.0 then
+          for j = 0 to n - 1 do
+            Array.unsafe_set cur j (Array.unsafe_get cur j /. !total)
+          done
+      end
+    done
+  end;
+  (alpha, scale)
+
+let sample ~rng t len =
+  let obs = Array.make len 0 in
+  if len > 0 then begin
+    let state = ref (Rng.choose_weighted rng t.pi) in
+    for i = 0 to len - 1 do
+      if i > 0 then state := Rng.choose_weighted rng (Matrix.row t.a !state);
+      obs.(i) <- Rng.choose_weighted rng (Matrix.row t.b !state)
+    done
+  end;
+  obs
+
+let step_surprisals t obs =
+  let _, scale = forward t obs in
+  Array.map (fun s -> if s > 0.0 then -.log s else infinity) scale
+
+let log_likelihood t obs =
+  if Array.length obs = 0 then 0.0
+  else
+    let _, scale = forward t obs in
+    if Array.exists (fun s -> s <= 0.0) scale then neg_infinity
+    else Array.fold_left (fun acc s -> acc +. log s) 0.0 scale
+
+let per_symbol_score t obs =
+  let len = Array.length obs in
+  if len = 0 then 0.0 else log_likelihood t obs /. float_of_int len
+
+(* Scaled backward pass sharing the forward scaling factors, so
+   gamma/xi can be formed from products of the two without overflow. *)
+let backward t obs scale =
+  let n = t.n and m = t.m in
+  let adata = t.a.Matrix.data and bdata = t.b.Matrix.data in
+  let len = Array.length obs in
+  let beta = Array.make_matrix len n 0.0 in
+  if len > 0 then begin
+    let last = len - 1 in
+    for i = 0 to n - 1 do
+      beta.(last).(i) <- (if scale.(last) > 0.0 then 1.0 /. scale.(last) else 0.0)
+    done;
+    let bb = Array.make n 0.0 in
+    for step = last - 1 downto 0 do
+      if scale.(step) > 0.0 then begin
+        let next = beta.(step + 1) and cur = beta.(step) in
+        let o = obs.(step + 1) in
+        for j = 0 to n - 1 do
+          bb.(j) <- Array.unsafe_get bdata ((j * m) + o) *. Array.unsafe_get next j
+        done;
+        let inv = 1.0 /. scale.(step) in
+        for i = 0 to n - 1 do
+          let base = i * n in
+          let acc = ref 0.0 in
+          for j = 0 to n - 1 do
+            acc := !acc +. (Array.unsafe_get adata (base + j) *. Array.unsafe_get bb j)
+          done;
+          cur.(i) <- !acc *. inv
+        done
+      end
+    done
+  end;
+  beta
+
+let viterbi t obs =
+  check_observations t obs;
+  let len = Array.length obs in
+  if len = 0 then ([||], 0.0)
+  else begin
+    let safe_log x = if x > 0.0 then log x else neg_infinity in
+    let delta = Array.make_matrix len t.n neg_infinity in
+    let psi = Array.make_matrix len t.n 0 in
+    for i = 0 to t.n - 1 do
+      delta.(0).(i) <- safe_log t.pi.(i) +. safe_log (Matrix.get t.b i obs.(0))
+    done;
+    for step = 1 to len - 1 do
+      for j = 0 to t.n - 1 do
+        let best = ref neg_infinity and best_i = ref 0 in
+        for i = 0 to t.n - 1 do
+          let v = delta.(step - 1).(i) +. safe_log (Matrix.get t.a i j) in
+          if v > !best then begin
+            best := v;
+            best_i := i
+          end
+        done;
+        delta.(step).(j) <- !best +. safe_log (Matrix.get t.b j obs.(step));
+        psi.(step).(j) <- !best_i
+      done
+    done;
+    let last = len - 1 in
+    let best_final = Mlkit.Stats.argmax delta.(last) in
+    let path = Array.make len 0 in
+    path.(last) <- best_final;
+    for step = last - 1 downto 0 do
+      path.(step) <- psi.(step + 1).(path.(step + 1))
+    done;
+    (path, delta.(last).(best_final))
+  end
+
+let smoothing_epsilon = 1e-6
+
+let normalize_with_floor row =
+  let k = Array.length row in
+  let s = Array.fold_left ( +. ) 0.0 row in
+  if s <= 0.0 then Array.make k (1.0 /. float_of_int k)
+  else
+    let denom = s +. (smoothing_epsilon *. float_of_int k) in
+    Array.map (fun v -> (v +. smoothing_epsilon) /. denom) row
+
+let baum_welch_step t weighted =
+  let a_acc = Array.make_matrix t.n t.n 0.0 in
+  let b_acc = Array.make_matrix t.n t.m 0.0 in
+  let pi_acc = Array.make t.n 0.0 in
+  let total_loglik = ref 0.0 in
+  (* Reused scratch buffers: the EM inner loops must not allocate per
+     time step, or GC dominates training on large programs. *)
+  let gamma_u = Array.make t.n 0.0 in
+  let bb = Array.make t.n 0.0 in
+  let accumulate (obs, weight) =
+    let len = Array.length obs in
+    if len > 0 then begin
+      let alpha, scale = forward t obs in
+      if not (Array.exists (fun s -> s <= 0.0) scale) then begin
+        total_loglik :=
+          !total_loglik +. (weight *. Array.fold_left (fun acc s -> acc +. log s) 0.0 scale);
+        let beta = backward t obs scale in
+        (* gamma, normalized explicitly per step *)
+        for step = 0 to len - 1 do
+          let s = ref 0.0 in
+          for i = 0 to t.n - 1 do
+            let u = alpha.(step).(i) *. beta.(step).(i) in
+            gamma_u.(i) <- u;
+            s := !s +. u
+          done;
+          if !s > 0.0 then
+            for i = 0 to t.n - 1 do
+              let g = gamma_u.(i) /. !s in
+              b_acc.(i).(obs.(step)) <- b_acc.(i).(obs.(step)) +. (weight *. g);
+              if step = 0 then pi_acc.(i) <- pi_acc.(i) +. (weight *. g)
+            done
+        done;
+        (* xi, normalized explicitly per step; two passes (sum, then
+           accumulate) instead of materializing the n x n table *)
+        let n = t.n and m = t.m in
+        let adata = t.a.Matrix.data and bdata = t.b.Matrix.data in
+        for step = 0 to len - 2 do
+          let next = beta.(step + 1) and cur = alpha.(step) in
+          let o = obs.(step + 1) in
+          for j = 0 to n - 1 do
+            bb.(j) <-
+              Array.unsafe_get bdata ((j * m) + o) *. Array.unsafe_get next j
+          done;
+          let s = ref 0.0 in
+          for i = 0 to n - 1 do
+            let ai = Array.unsafe_get cur i in
+            if ai > 0.0 then begin
+              let base = i * n in
+              let acc = ref 0.0 in
+              for j = 0 to n - 1 do
+                acc := !acc +. (Array.unsafe_get adata (base + j) *. Array.unsafe_get bb j)
+              done;
+              s := !s +. (ai *. !acc)
+            end
+          done;
+          if !s > 0.0 then
+            for i = 0 to n - 1 do
+              let coef = weight *. Array.unsafe_get cur i /. !s in
+              if coef > 0.0 then begin
+                let row = a_acc.(i) in
+                let base = i * n in
+                for j = 0 to n - 1 do
+                  Array.unsafe_set row j
+                    (Array.unsafe_get row j
+                    +. (coef *. Array.unsafe_get adata (base + j) *. Array.unsafe_get bb j))
+                done
+              end
+            done
+        done
+      end
+    end
+  in
+  List.iter accumulate weighted;
+  let a' = Matrix.of_arrays (Array.map normalize_with_floor a_acc) in
+  let b' = Matrix.of_arrays (Array.map normalize_with_floor b_acc) in
+  let pi' = normalize_with_floor pi_acc in
+  ({ t with a = a'; b = b'; pi = pi' }, !total_loglik)
+
+let fit ?(max_iterations = 50) ?(tolerance = 1e-4) t weighted =
+  let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  let scaled_tol = tolerance *. Float.max 1.0 total_weight in
+  let rec loop model prev_ll history iter =
+    if iter >= max_iterations then (model, List.rev history)
+    else
+      let model', ll = baum_welch_step model weighted in
+      let history = ll :: history in
+      match prev_ll with
+      | Some p when ll -. p < scaled_tol -> (model', List.rev history)
+      | Some _ | None -> loop model' (Some ll) history (iter + 1)
+  in
+  loop t None [] 0

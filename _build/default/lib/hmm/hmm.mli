@@ -1,0 +1,75 @@
+(** Discrete hidden Markov models.
+
+    Covers the three classic problems the paper relies on (Sec. II):
+    evaluation (scaled forward algorithm), decoding (Viterbi) and
+    learning (Baum-Welch), for observation sequences over a finite
+    symbol alphabet. Replaces the Jahmm library of the paper's
+    implementation. *)
+
+type t = {
+  n : int;  (** number of hidden states *)
+  m : int;  (** number of observation symbols *)
+  a : Mlkit.Matrix.t;  (** [n x n] transition probabilities, rows sum to 1 *)
+  b : Mlkit.Matrix.t;  (** [n x m] emission probabilities, rows sum to 1 *)
+  pi : float array;  (** initial state distribution *)
+}
+
+val create : a:Mlkit.Matrix.t -> b:Mlkit.Matrix.t -> pi:float array -> t
+(** @raise Invalid_argument on inconsistent dimensions, negative
+    entries, or rows that do not sum to 1 (within tolerance). *)
+
+val random : rng:Mlkit.Rng.t -> n:int -> m:int -> t
+(** Random initialization — the Rand-HMM baseline of Sec. V-D. *)
+
+val uniform : n:int -> m:int -> t
+
+val validate : t -> (unit, string) result
+
+val log_likelihood : t -> int array -> float
+(** [log P(O | λ)] by the scaled forward algorithm; [neg_infinity] when
+    the sequence is impossible. Observations outside [\[0, m)] raise
+    [Invalid_argument]. *)
+
+val per_symbol_score : t -> int array -> float
+(** [log_likelihood / length]: the detection score compared against the
+    threshold. [neg_infinity] on impossible sequences; 0.0 on the empty
+    sequence. *)
+
+val sample : rng:Mlkit.Rng.t -> t -> int -> int array
+(** Generate an observation sequence of the given length from the
+    model's distribution. *)
+
+val step_surprisals : t -> int array -> float array
+(** Per-step negative log-likelihood contributions:
+    [step_surprisals t o].(i) is [-log P(o_i | o_0..o_{i-1})] — large
+    values mark the surprising positions of an anomalous sequence.
+    Impossible steps yield [infinity]. *)
+
+val forward : t -> int array -> float array array * float array
+(** Scaled forward variables and per-step scaling factors [c.(t)];
+    [log P(O|λ) = -Σ log c.(t)]. Exposed for tests. *)
+
+val backward : t -> int array -> float array -> float array array
+(** Scaled backward variables using the forward scaling factors. *)
+
+val viterbi : t -> int array -> int array * float
+(** Most likely state path and its log probability. *)
+
+val baum_welch_step : t -> (int array * float) list -> t * float
+(** One EM iteration over weighted sequences (weight = multiplicity of
+    the deduplicated window). Returns the re-estimated model and the
+    {e previous} model's total weighted log-likelihood. Emission and
+    transition rows are floored by a small epsilon and renormalized so
+    unseen events keep non-zero mass. Sequences impossible under the
+    current model are skipped. *)
+
+val fit :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  t ->
+  (int array * float) list ->
+  t * float list
+(** Iterate [baum_welch_step] until the total log-likelihood improves by
+    less than [tolerance] (default 1e-4 per unit weight) or
+    [max_iterations] (default 50). Returns the trained model and the
+    log-likelihood trajectory. *)

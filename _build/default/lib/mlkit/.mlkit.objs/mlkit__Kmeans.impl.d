@@ -1,0 +1,1 @@
+lib/mlkit/kmeans.ml: Array Float List Matrix Rng Stats

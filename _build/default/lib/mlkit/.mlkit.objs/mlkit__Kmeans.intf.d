@@ -1,0 +1,1 @@
+lib/mlkit/kmeans.mli: Matrix Rng

@@ -1,0 +1,1 @@
+lib/mlkit/matrix.ml: Array Float Format

@@ -1,0 +1,1 @@
+lib/mlkit/pca.ml: Array Float Matrix

@@ -1,0 +1,1 @@
+lib/mlkit/pca.mli: Matrix

@@ -1,0 +1,1 @@
+lib/mlkit/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/mlkit/stats.ml: Array Float

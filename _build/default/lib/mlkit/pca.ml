@@ -1,0 +1,127 @@
+type model = {
+  mean : float array;
+  components : Matrix.t;
+  eigenvalues : float array;
+}
+
+(* Cyclic Jacobi rotations: repeatedly zero the largest off-diagonal
+   element until the off-diagonal mass is negligible. *)
+let jacobi_eigen m =
+  let n, cols = Matrix.dims m in
+  if n <> cols then invalid_arg "Pca.jacobi_eigen: matrix must be square";
+  let a = Matrix.to_arrays m in
+  let v = Matrix.to_arrays (Matrix.identity n) in
+  let off_diagonal_mass () =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    !acc
+  in
+  let rotate p q =
+    if Float.abs a.(p).(q) > 1e-14 then begin
+      let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. a.(p).(q)) in
+      let t =
+        let sign = if theta >= 0.0 then 1.0 else -1.0 in
+        sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+      in
+      let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+      let s = t *. c in
+      for k = 0 to n - 1 do
+        let akp = a.(k).(p) and akq = a.(k).(q) in
+        a.(k).(p) <- (c *. akp) -. (s *. akq);
+        a.(k).(q) <- (s *. akp) +. (c *. akq)
+      done;
+      for k = 0 to n - 1 do
+        let apk = a.(p).(k) and aqk = a.(q).(k) in
+        a.(p).(k) <- (c *. apk) -. (s *. aqk);
+        a.(q).(k) <- (s *. apk) +. (c *. aqk)
+      done;
+      for k = 0 to n - 1 do
+        let vkp = v.(k).(p) and vkq = v.(k).(q) in
+        v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+        v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+      done
+    end
+  in
+  let max_sweeps = 100 in
+  let sweep = ref 0 in
+  while off_diagonal_mass () > 1e-18 && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 1 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare a.(j).(j) a.(i).(i)) order;
+  let values = Array.map (fun i -> a.(i).(i)) order in
+  (* Eigenvectors as rows: row r of the result is the eigenvector for
+     [values.(r)], i.e. column [order.(r)] of the accumulated rotations. *)
+  let vectors = Matrix.init n n (fun r c -> v.(c).(order.(r))) in
+  (values, vectors)
+
+let covariance data mean =
+  let rows, cols = Matrix.dims data in
+  let cov = Matrix.create cols cols in
+  let denom = float_of_int (max 1 (rows - 1)) in
+  for i = 0 to rows - 1 do
+    for a = 0 to cols - 1 do
+      let da = Matrix.get data i a -. mean.(a) in
+      if da <> 0.0 then
+        for b = a to cols - 1 do
+          let db = Matrix.get data i b -. mean.(b) in
+          Matrix.set cov a b (Matrix.get cov a b +. (da *. db))
+        done
+    done
+  done;
+  Matrix.init cols cols (fun a b ->
+      let a', b' = if a <= b then (a, b) else (b, a) in
+      Matrix.get cov a' b' /. denom)
+
+let fit ?(variance_kept = 0.95) ?max_components data =
+  let rows, cols = Matrix.dims data in
+  if rows = 0 then invalid_arg "Pca.fit: no observations";
+  let mean = Array.init cols (fun j -> Array.fold_left ( +. ) 0.0 (Matrix.col data j) /. float_of_int rows) in
+  let values, vectors = jacobi_eigen (covariance data mean) in
+  let total = Array.fold_left (fun acc x -> acc +. Float.max 0.0 x) 0.0 values in
+  let cap = match max_components with Some c -> min c cols | None -> cols in
+  let keep =
+    if total <= 0.0 then 1
+    else begin
+      let acc = ref 0.0 and k = ref 0 in
+      while !k < cap && !acc < variance_kept *. total do
+        acc := !acc +. Float.max 0.0 values.(!k);
+        incr k
+      done;
+      max 1 !k
+    end
+  in
+  {
+    mean;
+    components = Matrix.init keep cols (fun i j -> Matrix.get vectors i j);
+    eigenvalues = Array.sub values 0 keep;
+  }
+
+let transform model data =
+  let rows, cols = Matrix.dims data in
+  if cols <> Array.length model.mean then invalid_arg "Pca.transform: dimension mismatch";
+  let k, _ = Matrix.dims model.components in
+  Matrix.init rows k (fun i c ->
+      let acc = ref 0.0 in
+      for j = 0 to cols - 1 do
+        acc := !acc +. ((Matrix.get data i j -. model.mean.(j)) *. Matrix.get model.components c j)
+      done;
+      !acc)
+
+let fit_transform ?variance_kept ?max_components data =
+  let model = fit ?variance_kept ?max_components data in
+  (model, transform model data)
+
+let explained_variance_ratio model =
+  let total = Array.fold_left (fun acc x -> acc +. Float.max 0.0 x) 0.0 model.eigenvalues in
+  if total <= 0.0 then Array.map (fun _ -> 0.0) model.eigenvalues
+  else Array.map (fun x -> Float.max 0.0 x /. total) model.eigenvalues

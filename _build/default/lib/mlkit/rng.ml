@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: advance the state and mix the result. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the conversion to OCaml's 63-bit int stays
+     non-negative. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let gaussian t =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let choose_weighted t w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: weights must sum to a positive value";
+  let target = float t total in
+  let n = Array.length w in
+  let rec loop i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0

@@ -1,0 +1,41 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All stochastic components of the reproduction (k-means++ seeding,
+    random HMM initialization, synthetic anomaly generation, workload
+    generation) draw from this generator so that every experiment is
+    reproducible from a single integer seed. The implementation is
+    splitmix64, which is adequate for simulation purposes. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns an independent generator. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] returns a uniformly chosen element.
+    @raise Invalid_argument if [arr] is empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val choose_weighted : t -> float array -> int
+(** [choose_weighted t w] samples index [i] with probability
+    [w.(i) / sum w]. Weights must be non-negative with positive sum. *)

@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Applang Buffer Char Hashtbl Istate List Mlkit Printf Rvalue Sqldb String Testcase

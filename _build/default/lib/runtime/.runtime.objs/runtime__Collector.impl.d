@@ -1,0 +1,1 @@
+lib/runtime/collector.ml: Analysis Array Format List Rvalue

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Analysis Applang Array Buffer Builtins Collector Hashtbl Istate List Patch Printf Rvalue Sqldb String

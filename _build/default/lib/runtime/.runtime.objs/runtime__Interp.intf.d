@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Analysis Collector Patch Sqldb Testcase

@@ -1,0 +1,1 @@
+lib/runtime/istate.ml: Buffer Hashtbl List Mlkit Printf Sqldb Testcase

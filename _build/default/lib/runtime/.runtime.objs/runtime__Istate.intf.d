@@ -1,0 +1,1 @@
+lib/runtime/istate.mli: Buffer Hashtbl Mlkit Sqldb Testcase

@@ -1,0 +1,1 @@
+lib/runtime/ltrace.ml: Analysis Array Buffer Collector List Printf Rvalue String

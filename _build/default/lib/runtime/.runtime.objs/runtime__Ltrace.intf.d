@@ -1,0 +1,1 @@
+lib/runtime/ltrace.mli: Analysis Buffer Collector

@@ -1,0 +1,1 @@
+lib/runtime/rvalue.ml: Array Buffer Printf Sqldb String

@@ -1,0 +1,1 @@
+lib/runtime/rvalue.mli: Buffer Sqldb

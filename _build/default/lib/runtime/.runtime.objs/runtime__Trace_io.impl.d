@@ -1,0 +1,1 @@
+lib/runtime/trace_io.ml: Analysis Array Buffer Collector List Printf String

@@ -1,0 +1,14 @@
+(** Semantics of AppLang library calls.
+
+    [dispatch] implements the raw effect and base result of each
+    builtin; the interpreter then applies the generic taint policy from
+    {!Applang.Libspec} (Source / Propagate / Clean) to the result. *)
+
+val dispatch : Istate.t -> string -> Rvalue.t list -> Rvalue.t
+(** @raise Istate.Error on arity/type errors or unknown builtins.
+    @raise Istate.Program_exit from [exit]. *)
+
+val format_args : string -> Rvalue.t list -> string
+(** printf-style formatting: [%s], [%d], [%f] consume arguments in
+    order (rendered via {!Rvalue.to_display}); [%%] is a literal
+    percent. Exposed for tests. *)

@@ -1,0 +1,37 @@
+type event = {
+  symbol : Analysis.Symbol.t;
+  caller : string;
+  block : int;
+}
+
+type trace = event array
+
+type t = {
+  emit :
+    symbol:Analysis.Symbol.t ->
+    caller:string ->
+    block:int ->
+    args:Rvalue.t list ->
+    unit;
+}
+
+let null = { emit = (fun ~symbol:_ ~caller:_ ~block:_ ~args:_ -> ()) }
+
+let adprom () =
+  let events = ref [] in
+  let count = ref 0 in
+  let emit ~symbol ~caller ~block ~args:_ =
+    events := { symbol; caller; block } :: !events;
+    incr count
+  in
+  let trace () = Array.of_list (List.rev !events) in
+  ({ emit }, trace)
+
+let symbols_of_trace trace = Array.map (fun e -> e.symbol) trace
+
+let pp_trace ppf trace =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun e -> Format.fprintf ppf "%s @@ %a@," e.caller Analysis.Symbol.pp e.symbol)
+    trace;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** The Calls Collector component (Sec. IV-B2).
+
+    The interpreter reports every library call through a collector; the
+    AD-PROM collector records only the call symbol (with its dynamic
+    DB-output label) and the caller function — the light-weight design
+    the paper credits for the ~78% overhead reduction over ltrace. *)
+
+type event = {
+  symbol : Analysis.Symbol.t;
+  caller : string;
+  block : int;  (** static block id of the call site; -1 when unknown *)
+}
+
+type trace = event array
+
+type t = {
+  emit :
+    symbol:Analysis.Symbol.t ->
+    caller:string ->
+    block:int ->
+    args:Rvalue.t list ->
+    unit;
+}
+
+val null : t
+(** Discards everything (uninstrumented run). *)
+
+val adprom : unit -> t * (unit -> trace)
+(** AD-PROM's collector: interns symbols and appends (symbol, caller)
+    pairs; the second component returns the trace collected so far. *)
+
+val symbols_of_trace : trace -> Analysis.Symbol.t array
+
+val pp_trace : Format.formatter -> trace -> unit

@@ -1,0 +1,43 @@
+(** The AppLang interpreter with dynamic instrumentation.
+
+    Executes a program against the mini DB engine under a scripted test
+    case, reporting every library call to a {!Collector.t}. Output
+    calls receiving tainted (DB-derived) values are emitted with their
+    [_Q<block>] label — the dynamic half of AD-PROM's data-flow
+    tracking — and {!Patch} injections fire at their instrumentation
+    points, emulating Dyninst binary rewriting. *)
+
+type outcome = {
+  stdout : string;
+  files : (string * string) list;  (** path, final written contents *)
+  system_calls : string list;  (** in issue order *)
+  queries : string list;  (** raw SQL texts submitted, in issue order *)
+  tainted_files : string list;
+      (** paths that received targeted data (Sec. VII file labeling) *)
+  responses : string;  (** HTTP response stream of a web-app run *)
+  steps : int;
+  leaked_values : int;  (** tainted values that reached output statements *)
+  status : (unit, string) result;
+}
+
+val run :
+  ?collector:Collector.t ->
+  ?patches:Patch.t list ->
+  ?max_steps:int ->
+  ?query_rewriter:(string -> string) ->
+  analysis:Analysis.Analyzer.t ->
+  engine:Sqldb.Engine.t ->
+  Testcase.t ->
+  outcome
+(** Run [main()]. [max_steps] defaults to 1_000_000 interpreter steps.
+    Run-time errors are reported in [status], never raised. *)
+
+val collect_trace :
+  ?patches:Patch.t list ->
+  ?max_steps:int ->
+  ?query_rewriter:(string -> string) ->
+  analysis:Analysis.Analyzer.t ->
+  engine:Sqldb.Engine.t ->
+  Testcase.t ->
+  Collector.trace * outcome
+(** Convenience: run under the AD-PROM collector and return the trace. *)

@@ -1,0 +1,60 @@
+exception Program_exit
+
+exception Error of string
+
+type t = {
+  engine : Sqldb.Engine.t;
+  mutable input : string list;
+  file_seeds : (string, string) Hashtbl.t;
+  written_files : (string, Buffer.t) Hashtbl.t;
+  stdout : Buffer.t;
+  mutable system_calls : string list;
+  mutable queries : string list;
+  mutable tainted_paths : string list;
+  mutable pending_requests : Testcase.request list;
+  mutable current_request : Testcase.request option;
+  responses : Buffer.t;
+  query_rewriter : string -> string;
+  rng : Mlkit.Rng.t;
+  mutable steps : int;
+  max_steps : int;
+  mutable leaked_values : int;
+}
+
+let create ?(query_rewriter = fun sql -> sql) ~engine ~max_steps (tc : Testcase.t) =
+  let file_seeds = Hashtbl.create 8 in
+  List.iter (fun (path, contents) -> Hashtbl.replace file_seeds path contents) tc.Testcase.files;
+  {
+    engine;
+    input = tc.Testcase.input;
+    file_seeds;
+    written_files = Hashtbl.create 8;
+    stdout = Buffer.create 256;
+    system_calls = [];
+    queries = [];
+    tainted_paths = [];
+    pending_requests = tc.Testcase.requests;
+    current_request = None;
+    responses = Buffer.create 256;
+    query_rewriter;
+    rng = Mlkit.Rng.create tc.Testcase.seed;
+    steps = 0;
+    max_steps;
+    leaked_values = 0;
+  }
+
+let tick t =
+  t.steps <- t.steps + 1;
+  if t.steps > t.max_steps then
+    raise (Error (Printf.sprintf "step budget exceeded (%d)" t.max_steps))
+
+let next_input t =
+  match t.input with
+  | [] -> ""
+  | line :: rest ->
+      t.input <- rest;
+      line
+
+let written t =
+  Hashtbl.fold (fun path buf acc -> (path, Buffer.contents buf) :: acc) t.written_files []
+  |> List.sort compare

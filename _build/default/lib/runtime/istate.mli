@@ -1,0 +1,48 @@
+(** Mutable world state of one interpreted run: scripted stdin, the
+    in-memory file system, the stdout buffer, the program-visible RNG,
+    the step budget, and the leak counter. *)
+
+exception Program_exit
+(** Raised by the [exit] builtin; a normal termination. *)
+
+exception Error of string
+(** Run-time error: type error, unknown builtin, step-budget overrun. *)
+
+type t = {
+  engine : Sqldb.Engine.t;
+  mutable input : string list;
+  file_seeds : (string, string) Hashtbl.t;  (** initial FS contents *)
+  written_files : (string, Buffer.t) Hashtbl.t;  (** contents written per path *)
+  stdout : Buffer.t;
+  mutable system_calls : string list;  (** commands passed to [system], reversed *)
+  mutable queries : string list;  (** raw SQL texts submitted to the DB, reversed *)
+  mutable tainted_paths : string list;
+      (** files that received targeted data through an output call *)
+  mutable pending_requests : Testcase.request list;
+  mutable current_request : Testcase.request option;
+  responses : Buffer.t;  (** HTTP response stream of a web app *)
+  query_rewriter : string -> string;
+      (** applied to raw SQL on the wire — identity normally; a MITM
+          attacker's rewrite in Attack 3.2 *)
+  rng : Mlkit.Rng.t;
+  mutable steps : int;
+  max_steps : int;
+  mutable leaked_values : int;
+      (** tainted values that reached an output statement *)
+}
+
+val create :
+  ?query_rewriter:(string -> string) ->
+  engine:Sqldb.Engine.t ->
+  max_steps:int ->
+  Testcase.t ->
+  t
+
+val tick : t -> unit
+(** Account one interpretation step. @raise Error past [max_steps]. *)
+
+val next_input : t -> string
+(** Next scripted stdin line; [""] when exhausted. *)
+
+val written : t -> (string * string) list
+(** Final contents of files written during the run, sorted by path. *)

@@ -1,0 +1,19 @@
+(** Simulated ltrace collector — the heavyweight baseline of Table VI.
+
+    ltrace intercepts every library call, stringifies its arguments,
+    records the instruction pointer, and the paper's pipeline then runs
+    addr2line to resolve the caller. This module reproduces those costs
+    faithfully in simulation: per call it formats the full argument
+    list, fabricates an address from the block id and resolves it back
+    through a binary search over a symbol table, appending a formatted
+    line to a log buffer. The overhead ratio against
+    {!Collector.adprom} is then measured, not asserted. *)
+
+type stats = { mutable calls : int; mutable bytes : int }
+
+val make : symtab:(int * string) array -> Collector.t * stats * Buffer.t
+(** [symtab] maps block ids to function names (sorted by id); build it
+    with {!symtab_of_cfgs}. Returns the collector, counters, and the
+    log buffer it writes. *)
+
+val symtab_of_cfgs : (string * Analysis.Cfg.t) list -> (int * string) array

@@ -1,0 +1,20 @@
+type position =
+  | Before_block of int
+  | After_block of int
+  | At_function_entry of string
+
+type injected_call = {
+  name : string;
+  leaks_td : bool;
+}
+
+type t = { position : position; calls : injected_call list }
+
+let fires_before patches bid =
+  List.filter (fun p -> p.position = Before_block bid) patches
+
+let fires_after patches bid =
+  List.filter (fun p -> p.position = After_block bid) patches
+
+let fires_at_entry patches func =
+  List.filter (fun p -> p.position = At_function_entry func) patches

@@ -1,0 +1,25 @@
+(** Binary patching, emulating Dyninst code injection (Attack 2.1 /
+    Attack 4 of the paper).
+
+    A patch injects library-call events at instrumentation points
+    without touching the source program — exactly what an attacker
+    rewriting the binary achieves. Patched output calls that leak
+    targeted data carry the DB-output label of the block they were
+    spliced into, because the dynamic data-flow instrumentation sees
+    the tainted value at run time. *)
+
+type position =
+  | Before_block of int  (** fire just before block [bid] executes its call *)
+  | After_block of int  (** fire just after *)
+  | At_function_entry of string
+
+type injected_call = {
+  name : string;  (** library call name, e.g. ["fwrite"] *)
+  leaks_td : bool;  (** the injected call outputs targeted data *)
+}
+
+type t = { position : position; calls : injected_call list }
+
+val fires_before : t list -> int -> t list
+val fires_after : t list -> int -> t list
+val fires_at_entry : t list -> string -> t list

@@ -1,0 +1,65 @@
+type file_mode = Read | Write | Append
+
+type file_handle = {
+  path : string;
+  mode : file_mode;
+  mutable read_lines : string list;
+  buffer : Buffer.t;
+}
+
+type base =
+  | VInt of int
+  | VStr of string
+  | VBool of bool
+  | VNull
+  | VConn of Sqldb.Client.conn
+  | VResult of Sqldb.Client.exec_result
+  | VCursor of Sqldb.Client.cursor
+  | VPrepared of Sqldb.Client.prepared
+  | VRow of Sqldb.Value.t array
+  | VFile of file_handle
+
+type t = { base : base; taint : bool }
+
+let int ?(taint = false) n = { base = VInt n; taint }
+let str ?(taint = false) s = { base = VStr s; taint }
+let bool b = { base = VBool b; taint = false }
+let null = { base = VNull; taint = false }
+
+let retaint taint v = { v with taint }
+
+let truthy v =
+  match v.base with
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | VNull -> false
+  | VStr s -> s <> ""
+  | VConn _ | VResult _ | VCursor _ | VPrepared _ | VRow _ | VFile _ -> true
+
+let to_display v =
+  match v.base with
+  | VInt n -> string_of_int n
+  | VStr s -> s
+  | VBool true -> "true"
+  | VBool false -> "false"
+  | VNull -> "NULL"
+  | VConn _ -> "<conn>"
+  | VResult _ -> "<result>"
+  | VCursor _ -> "<cursor>"
+  | VPrepared _ -> "<prepared>"
+  | VRow cells ->
+      String.concat " " (Array.to_list (Array.map Sqldb.Value.to_string cells))
+  | VFile h -> Printf.sprintf "<file:%s>" h.path
+
+let type_name v =
+  match v.base with
+  | VInt _ -> "int"
+  | VStr _ -> "string"
+  | VBool _ -> "bool"
+  | VNull -> "null"
+  | VConn _ -> "conn"
+  | VResult _ -> "result"
+  | VCursor _ -> "cursor"
+  | VPrepared _ -> "prepared"
+  | VRow _ -> "row"
+  | VFile _ -> "file"

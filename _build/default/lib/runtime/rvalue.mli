@@ -1,0 +1,45 @@
+(** Run-time values of the interpreter, each carrying a taint bit: is
+    this value (derived from) targeted data retrieved from the DB?
+
+    The taint bit is the dynamic half of the paper's data-flow tracking
+    (Sec. IV-D): output calls that receive tainted values are recorded
+    with their [_Q<block>] label. *)
+
+type file_mode = Read | Write | Append
+
+type file_handle = {
+  path : string;
+  mode : file_mode;
+  mutable read_lines : string list;  (** remaining lines in Read mode *)
+  buffer : Buffer.t;  (** accumulated output in Write/Append mode *)
+}
+
+type base =
+  | VInt of int
+  | VStr of string
+  | VBool of bool
+  | VNull
+  | VConn of Sqldb.Client.conn
+  | VResult of Sqldb.Client.exec_result  (** libpq-style result *)
+  | VCursor of Sqldb.Client.cursor  (** MySQL-style stored result *)
+  | VPrepared of Sqldb.Client.prepared
+  | VRow of Sqldb.Value.t array  (** MySQL-style fetched row *)
+  | VFile of file_handle
+
+type t = { base : base; taint : bool }
+
+val int : ?taint:bool -> int -> t
+val str : ?taint:bool -> string -> t
+val bool : bool -> t
+val null : t
+
+val retaint : bool -> t -> t
+
+val truthy : t -> bool
+(** Condition semantics: false for [VBool false], [VInt 0], [VNull],
+    and the empty string; true otherwise. *)
+
+val to_display : t -> string
+(** String form used by printf-style formatting. *)
+
+val type_name : t -> string

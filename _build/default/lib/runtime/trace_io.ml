@@ -1,0 +1,73 @@
+module Symbol = Analysis.Symbol
+
+let encode_symbol = function
+  | Symbol.Entry -> "entry"
+  | Symbol.Exit -> "exit"
+  | Symbol.Func f -> "func:" ^ f
+  | Symbol.Lib { name; label; site } ->
+      let opt = function None -> "-" | Some i -> string_of_int i in
+      Printf.sprintf "lib:%s:%s:%s" name (opt label) (opt site)
+
+let decode_symbol s =
+  match String.split_on_char ':' s with
+  | [ "entry" ] -> Ok Symbol.Entry
+  | [ "exit" ] -> Ok Symbol.Exit
+  | [ "func"; f ] -> Ok (Symbol.Func f)
+  | [ "lib"; name; label; site ] -> (
+      let opt = function
+        | "-" -> Ok None
+        | v -> (
+            match int_of_string_opt v with
+            | Some i -> Ok (Some i)
+            | None -> Error ("bad int: " ^ v))
+      in
+      match (opt label, opt site) with
+      | Ok label, Ok site -> Ok (Symbol.Lib { name; label; site })
+      | Error e, _ | _, Error e -> Error e)
+  | _ -> Error ("bad symbol: " ^ s)
+
+let to_string trace =
+  let buf = Buffer.create (Array.length trace * 32) in
+  Array.iter
+    (fun (e : Collector.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%d\t%s\n" e.Collector.caller e.Collector.block
+           (encode_symbol e.Collector.symbol)))
+    trace;
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  let parse line =
+    match String.split_on_char '\t' line with
+    | [ caller; block; sym ] -> (
+        match (int_of_string_opt block, decode_symbol sym) with
+        | Some block, Ok symbol -> Ok { Collector.caller; block; symbol }
+        | None, _ -> Error ("bad block id in: " ^ line)
+        | _, Error e -> Error e)
+    | _ -> Error ("bad trace line: " ^ line)
+  in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | l :: rest -> (
+        match parse l with
+        | Ok e -> go (e :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] lines
+
+let save trace path =
+  let oc = open_out_bin path in
+  output_string oc (to_string trace);
+  close_out oc
+
+let load path =
+  match open_in_bin path with
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      of_string text
+  | exception Sys_error msg -> Error msg

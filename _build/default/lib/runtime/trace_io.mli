@@ -1,0 +1,12 @@
+(** Trace persistence: record library-call traces on the monitored host,
+    train elsewhere. One event per line: [caller<TAB>block<TAB>symbol],
+    with the symbol in the same encoding as {!Adprom.Profile_io} (name,
+    optional Q-label, optional site). *)
+
+val to_string : Collector.trace -> string
+
+val of_string : string -> (Collector.trace, string) result
+
+val save : Collector.trace -> string -> unit
+
+val load : string -> (Collector.trace, string) result

@@ -1,0 +1,1 @@
+lib/sqldb/client.ml: Array Engine List Printf Sql_ast Sql_lexer Sql_parser Stdlib Value

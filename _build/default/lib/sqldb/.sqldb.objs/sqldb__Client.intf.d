@@ -1,0 +1,1 @@
+lib/sqldb/client.mli: Engine Stdlib Value

@@ -1,0 +1,1 @@
+lib/sqldb/engine.ml: Array Hashtbl List Printf Sql_ast Sql_parser String Value

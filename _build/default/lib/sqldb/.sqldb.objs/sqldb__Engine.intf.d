@@ -1,0 +1,1 @@
+lib/sqldb/engine.mli: Sql_ast Value

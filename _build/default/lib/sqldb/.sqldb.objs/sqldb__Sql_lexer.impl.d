@@ -1,0 +1,1 @@
+lib/sqldb/sql_lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/sqldb/sql_lexer.mli:

@@ -1,0 +1,1 @@
+lib/sqldb/sql_parser.ml: List Printf Sql_ast Sql_lexer

@@ -1,0 +1,1 @@
+lib/sqldb/sql_parser.mli: Sql_ast

@@ -1,0 +1,1 @@
+lib/sqldb/sql_pp.ml: Buffer List Printf Sql_ast Sql_lexer Sql_parser String

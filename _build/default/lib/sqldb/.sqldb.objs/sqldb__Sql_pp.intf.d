@@ -1,0 +1,1 @@
+lib/sqldb/sql_pp.mli: Sql_ast

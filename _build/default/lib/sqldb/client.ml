@@ -1,0 +1,79 @@
+type dialect = Postgres | Mysql
+
+type exec_result =
+  | Result of Engine.result
+  | Command_ok of int
+  | Error of string
+
+type conn = {
+  engine : Engine.t;
+  dialect : dialect;
+  mutable last : exec_result option;
+}
+
+type cursor = { result : Engine.result; mutable next : int }
+
+type prepared = { statement : Sql_ast.statement; nparams : int }
+
+let connect engine dialect = { engine; dialect; last = None }
+let dialect conn = conn.dialect
+let engine conn = conn.engine
+
+let set_last_result conn r = conn.last <- r
+let last_result conn = conn.last
+
+let exec conn sql =
+  match Engine.exec conn.engine sql with
+  | Engine.Rows r -> Result r
+  | Engine.Affected n -> Command_ok n
+  | exception Engine.Sql_error msg -> Error msg
+  | exception Sql_parser.Error msg -> Error msg
+  | exception Sql_lexer.Error msg -> Error msg
+
+let prepare _conn sql =
+  match Sql_parser.parse sql with
+  | statement -> Ok { statement; nparams = Sql_ast.param_count statement }
+  | exception Sql_parser.Error msg -> Stdlib.Error msg
+  | exception Sql_lexer.Error msg -> Stdlib.Error msg
+
+let exec_prepared conn prepared params =
+  if List.length params <> prepared.nparams then
+    Error
+      (Printf.sprintf "expected %d parameters, got %d" prepared.nparams (List.length params))
+  else
+    match Engine.execute ~params:(Array.of_list params) conn.engine prepared.statement with
+    | Engine.Rows r -> Result r
+    | Engine.Affected n -> Command_ok n
+    | exception Engine.Sql_error msg -> Error msg
+
+let ntuples = function
+  | Result r -> Array.length r.Engine.rows
+  | Command_ok _ | Error _ -> 0
+
+let nfields = function
+  | Result r -> Array.length r.Engine.columns
+  | Command_ok _ | Error _ -> 0
+
+let getvalue res row col =
+  match res with
+  | Result r ->
+      if row < 0 || row >= Array.length r.Engine.rows then Value.Null
+      else
+        let cells = r.Engine.rows.(row) in
+        if col < 0 || col >= Array.length cells then Value.Null else cells.(col)
+  | Command_ok _ | Error _ -> Value.Null
+
+let cursor_of_result = function
+  | Result r -> Some { result = r; next = 0 }
+  | Command_ok _ | Error _ -> None
+
+let fetch_row cursor =
+  if cursor.next >= Array.length cursor.result.Engine.rows then None
+  else begin
+    let row = cursor.result.Engine.rows.(cursor.next) in
+    cursor.next <- cursor.next + 1;
+    Some row
+  end
+
+let cursor_num_rows cursor = Array.length cursor.result.Engine.rows
+let cursor_num_fields cursor = Array.length cursor.result.Engine.columns

@@ -1,0 +1,61 @@
+type literal =
+  | L_int of int
+  | L_str of string
+  | L_null
+  | L_param of int
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type expr =
+  | Col of string
+  | Lit of literal
+  | Cmp of cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Like of expr * expr
+
+type aggregate = Sum | Avg | Min_agg | Max_agg
+
+type projection =
+  | Star
+  | Columns of string list
+  | Count_star
+  | Aggregate of aggregate * string
+
+type order = Asc | Desc
+
+type statement =
+  | Create of { table : string; columns : string list }
+  | Insert of { table : string; columns : string list option; values : literal list list }
+  | Select of {
+      projection : projection;
+      table : string;
+      where : expr option;
+      order_by : (string * order) option;
+      limit : int option;
+    }
+  | Update of { table : string; sets : (string * literal) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+
+let literal_params = function L_param i -> [ i ] | L_int _ | L_str _ | L_null -> []
+
+let rec expr_params = function
+  | Col _ -> []
+  | Lit l -> literal_params l
+  | Cmp (_, a, b) | And (a, b) | Or (a, b) | Like (a, b) -> expr_params a @ expr_params b
+  | Not a -> expr_params a
+
+let where_params = function None -> [] | Some e -> expr_params e
+
+let param_count stmt =
+  let indices =
+    match stmt with
+    | Create _ -> []
+    | Insert { values; _ } -> List.concat_map (List.concat_map literal_params) values
+    | Select { where; _ } -> where_params where
+    | Update { sets; where; _ } ->
+        List.concat_map (fun (_, l) -> literal_params l) sets @ where_params where
+    | Delete { where; _ } -> where_params where
+  in
+  List.fold_left (fun acc i -> max acc (i + 1)) 0 indices

@@ -1,0 +1,52 @@
+(** Abstract syntax of the SQL dialect understood by the mini engine.
+
+    The dialect covers what the paper's client applications issue:
+    CREATE TABLE, INSERT, SELECT (with WHERE, COUNT star, ORDER BY, LIMIT),
+    UPDATE and DELETE. WHERE supports comparisons, AND/OR/NOT and LIKE,
+    which is enough for tautology-based SQL injection to change result
+    cardinality exactly as in Fig. 2 of the paper. *)
+
+type literal =
+  | L_int of int
+  | L_str of string
+  | L_null
+  | L_param of int  (** [?] placeholder, numbered from 0, for prepared statements *)
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type expr =
+  | Col of string
+  | Lit of literal
+  | Cmp of cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Like of expr * expr  (** [lhs LIKE pattern]; pattern uses [%] and [_] *)
+
+type aggregate = Sum | Avg | Min_agg | Max_agg
+
+type projection =
+  | Star
+  | Columns of string list
+  | Count_star
+  | Aggregate of aggregate * string
+      (** [SUM(col)], [AVG(col)], [MIN(col)], [MAX(col)]; NULLs are
+          skipped, the empty set yields NULL, AVG truncates to int *)
+
+type order = Asc | Desc
+
+type statement =
+  | Create of { table : string; columns : string list }
+  | Insert of { table : string; columns : string list option; values : literal list list }
+  | Select of {
+      projection : projection;
+      table : string;
+      where : expr option;
+      order_by : (string * order) option;
+      limit : int option;
+    }
+  | Update of { table : string; sets : (string * literal) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+
+val param_count : statement -> int
+(** Number of distinct [?] placeholders (max index + 1). *)

@@ -1,0 +1,20 @@
+(** Printing and normalization of SQL statements.
+
+    [signature] renders a statement with every literal replaced by [?],
+    yielding the "query signature" of Sec. VII of the paper: recording
+    signatures along with library calls mitigates attacks that keep the
+    call sequence intact but alter the query structure. *)
+
+val to_string : Sql_ast.statement -> string
+(** Canonical rendering; parses back to an equal statement (modulo
+    placeholder numbering). *)
+
+val signature : Sql_ast.statement -> string
+(** Literal-erased canonical form, e.g.
+    [SELECT * FROM clients WHERE id = ?]. Two queries that differ only
+    in constants share a signature; structural changes (extra OR,
+    different columns) do not. *)
+
+val signature_of_sql : string -> string option
+(** Convenience: parse then [signature]; [None] when the text is not
+    parseable SQL. *)

@@ -1,0 +1,1 @@
+test/test_adprom.ml: Adprom Alcotest Analysis Applang Array Float Hmm Lazy List Mlkit Printf Runtime Sqldb String

@@ -1,0 +1,1 @@
+test/test_applang.ml: Alcotest Applang Dataset List Option QCheck2 QCheck_alcotest String

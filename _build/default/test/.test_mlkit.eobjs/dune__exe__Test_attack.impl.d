@@ -1,0 +1,1 @@
+test/test_attack.ml: Adprom Alcotest Analysis Applang Array Attack Hashtbl List Mlkit Option Runtime Sqldb String

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Adprom Alcotest Analysis Applang Array Attack Dataset List QCheck2 QCheck_alcotest Runtime Sqldb

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adprom Alcotest Analysis Applang Array Filename Lazy List Mlkit Option Printf Runtime Sqldb String Sys

@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Analysis Applang Array Lazy List Mlkit Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hmm.ml: Alcotest Array Float Hmm List Mlkit Printf QCheck2 QCheck_alcotest

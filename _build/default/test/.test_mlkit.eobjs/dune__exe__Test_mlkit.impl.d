@@ -1,0 +1,1 @@
+test/test_mlkit.ml: Alcotest Array Float List Mlkit Printf QCheck2 QCheck_alcotest

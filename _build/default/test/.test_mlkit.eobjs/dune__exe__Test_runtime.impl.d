@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Analysis Applang Array Buffer List Printf QCheck2 QCheck_alcotest Runtime Sqldb String

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Adprom Alcotest Analysis Applang Array List Printf Runtime Sqldb

@@ -1,0 +1,1 @@
+test/test_sqldb.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Sqldb

@@ -1,0 +1,1 @@
+test/test_webapp.ml: Adprom Alcotest Analysis Applang Dataset Lazy List Printf Runtime Sqldb String

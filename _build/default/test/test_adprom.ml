@@ -1,0 +1,344 @@
+(* Tests for the core AD-PROM library: windows, thresholds, evaluation
+   metrics, the reduction pipeline, profile training and the detection
+   engine flags. *)
+
+module Symbol = Analysis.Symbol
+module Window = Adprom.Window
+module Threshold = Adprom.Threshold
+module Evaluation = Adprom.Evaluation
+module Reduction = Adprom.Reduction
+module Profile = Adprom.Profile
+module Detector = Adprom.Detector
+module Pipeline = Adprom.Pipeline
+
+let event name caller =
+  { Runtime.Collector.symbol = Symbol.lib name; caller; block = -1 }
+
+let trace_of names = Array.of_list (List.map (fun n -> event n "main") names)
+
+(* --- windows --------------------------------------------------------------- *)
+
+let test_window_sliding () =
+  let trace = trace_of [ "a"; "b"; "c"; "d"; "e" ] in
+  let ws = Window.of_trace ~window:3 trace in
+  Alcotest.(check int) "len - n + 1 windows" 3 (List.length ws);
+  let first = List.hd ws in
+  Alcotest.(check int) "window length" 3 (Array.length first.Window.obs)
+
+let test_window_short_trace () =
+  let ws = Window.of_trace ~window:15 (trace_of [ "a"; "b" ]) in
+  Alcotest.(check int) "one short window" 1 (List.length ws);
+  Alcotest.(check int) "short window keeps the whole trace" 2
+    (Array.length (List.hd ws).Window.obs);
+  Alcotest.(check int) "empty trace yields nothing" 0
+    (List.length (Window.of_trace ~window:15 [||]))
+
+let test_window_dedup () =
+  let w = List.hd (Window.of_trace ~window:2 (trace_of [ "a"; "b" ])) in
+  let deduped = Window.dedup [ w; w; w ] in
+  Alcotest.(check int) "one unique window" 1 (List.length deduped);
+  Alcotest.(check (float 0.0)) "weight is the multiplicity" 3.0 (snd (List.hd deduped))
+
+let test_window_labels () =
+  let labeled =
+    [|
+      { Runtime.Collector.symbol = Symbol.lib ~label:6 "printf"; caller = "f"; block = 6 };
+      event "puts" "f";
+    |]
+  in
+  let w = List.hd (Window.of_trace ~window:5 labeled) in
+  Alcotest.(check bool) "labeled output detected" true (Window.contains_labeled_output w);
+  let stripped = Window.strip_labels w in
+  Alcotest.(check bool) "stripping removes the label" false
+    (Window.contains_labeled_output stripped)
+
+let test_window_encode () =
+  let w = List.hd (Window.of_trace ~window:3 (trace_of [ "a"; "b"; "a" ])) in
+  let index s = if Symbol.name s = "a" then Some 0 else if Symbol.name s = "b" then Some 1 else None in
+  (match Window.encode ~index w with
+  | Some codes -> Alcotest.(check (array int)) "encoded" [| 0; 1; 0 |] codes
+  | None -> Alcotest.fail "should encode");
+  let w2 = List.hd (Window.of_trace ~window:3 (trace_of [ "a"; "zz"; "a" ])) in
+  Alcotest.(check bool) "unknown symbol fails encoding" true (Window.encode ~index w2 = None)
+
+(* --- threshold -------------------------------------------------------------- *)
+
+let test_threshold_strategies () =
+  let scores = [| -1.0; -2.0; -0.5; neg_infinity |] in
+  Alcotest.(check (float 1e-9)) "fixed" (-3.0) (Threshold.select (Threshold.Fixed (-3.0)) scores);
+  Alcotest.(check (float 1e-9)) "min margin ignores -inf" (-2.5)
+    (Threshold.select (Threshold.Min_margin 0.5) scores);
+  Alcotest.(check (float 1e-9)) "quantile 0 is the min" (-2.0)
+    (Threshold.select (Threshold.Quantile 0.0) scores);
+  Alcotest.(check (float 1e-9)) "no finite scores falls back" (-1e9)
+    (Threshold.select (Threshold.Min_margin 1.0) [| neg_infinity |])
+
+let test_threshold_validated () =
+  (* anomalies score around -5, normals around -1: the candidate between
+     the two populations wins. *)
+  let normal = [| -1.0; -0.8; -1.2; -0.9 |] and anomalous = [| -5.0; -4.5; -6.0 |] in
+  Alcotest.(check (float 1e-9)) "separating candidate chosen" (-3.0)
+    (Threshold.select_validated ~candidates:[ -0.5; -3.0; -10.0 ] ~normal ~anomalous);
+  (* A candidate above all normals flags everything: worse accuracy. *)
+  Alcotest.(check (float 1e-9)) "ties break toward fewer FPs" (-3.0)
+    (Threshold.select_validated ~candidates:[ -2.0; -3.0 ] ~normal ~anomalous);
+  Alcotest.check_raises "no candidates"
+    (Invalid_argument "Threshold.select_validated: no candidates") (fun () ->
+      ignore (Threshold.select_validated ~candidates:[] ~normal ~anomalous))
+
+let test_threshold_adaptive () =
+  let t = Threshold.adaptive ~current:(-2.0) ~recent_fp_rate:0.2 ~target_fp_rate:0.01 in
+  Alcotest.(check bool) "too many FPs lowers the threshold" true (t < -2.0);
+  let t2 = Threshold.adaptive ~current:(-2.0) ~recent_fp_rate:0.0 ~target_fp_rate:0.01 in
+  Alcotest.(check bool) "quiet period raises it slightly" true (t2 > -2.0)
+
+(* --- evaluation -------------------------------------------------------------- *)
+
+let test_evaluation_metrics () =
+  let c = { Evaluation.tp = 90; tn = 900; fp = 10; fn = 10 } in
+  Alcotest.(check (float 1e-9)) "fp rate" (10.0 /. 910.0) (Evaluation.fp_rate c);
+  Alcotest.(check (float 1e-9)) "fn rate" 0.1 (Evaluation.fn_rate c);
+  Alcotest.(check (float 1e-9)) "precision" 0.9 (Evaluation.precision c);
+  Alcotest.(check (float 1e-9)) "recall" 0.9 (Evaluation.recall c);
+  Alcotest.(check (float 1e-4)) "accuracy" 0.9802 (Evaluation.accuracy c);
+  Alcotest.(check int) "total" 1010 (Evaluation.total c)
+
+let test_evaluation_observe_merge () =
+  let c =
+    Evaluation.empty
+    |> fun c -> Evaluation.observe c ~anomalous:true ~flagged:true
+    |> fun c -> Evaluation.observe c ~anomalous:false ~flagged:true
+    |> fun c -> Evaluation.observe c ~anomalous:false ~flagged:false
+    |> fun c -> Evaluation.observe c ~anomalous:true ~flagged:false
+  in
+  Alcotest.(check bool) "all four cells" true
+    (c.Evaluation.tp = 1 && c.Evaluation.fp = 1 && c.Evaluation.tn = 1 && c.Evaluation.fn = 1);
+  let m = Evaluation.merge c c in
+  Alcotest.(check int) "merge doubles" 8 (Evaluation.total m)
+
+let test_evaluation_curve_monotone () =
+  let normal = [| -1.0; -1.5; -0.5 |] and anomalous = [| -5.0; -4.0; -0.8 |] in
+  let thresholds = Evaluation.sweep_thresholds ~normal_scores:normal ~anomalous_scores:anomalous 50 in
+  let curve = Evaluation.curve ~normal_scores:normal ~anomalous_scores:anomalous ~thresholds in
+  let rec check_monotone = function
+    | (_, fp1, fn1) :: ((_, fp2, fn2) :: _ as rest) ->
+        Alcotest.(check bool) "fp non-decreasing in threshold" true (fp2 >= fp1 -. 1e-12);
+        Alcotest.(check bool) "fn non-increasing in threshold" true (fn2 <= fn1 +. 1e-12);
+        check_monotone rest
+    | _ -> ()
+  in
+  check_monotone curve
+
+let test_kfold () =
+  let xs = List.init 10 (fun i -> i) in
+  let folds = Evaluation.kfold ~k:3 xs in
+  Alcotest.(check int) "three folds" 3 (List.length folds);
+  List.iter
+    (fun (train, valid) ->
+      Alcotest.(check int) "partition" 10 (List.length train + List.length valid);
+      List.iter (fun v -> Alcotest.(check bool) "disjoint" false (List.mem v train)) valid)
+    folds;
+  let all_valid = List.concat_map snd folds in
+  Alcotest.(check (list int)) "validation folds cover everything" xs (List.sort compare all_valid)
+
+(* --- reduction ---------------------------------------------------------------- *)
+
+let fig_pctm () =
+  let src =
+    {|
+      fun main() {
+        let r = pq_exec(conn, "q");
+        printf("%s", pq_getvalue(r, 0, 0));
+        puts("done");
+      }
+    |}
+  in
+  (Analysis.Analyzer.analyze (Applang.Parser.parse_program src)).Analysis.Analyzer.pctm
+
+let test_reduction_ctv_shape () =
+  let pctm = fig_pctm () in
+  let sites, ctvs = Reduction.ctv_matrix pctm in
+  let n = Array.length sites in
+  let rows, cols = Mlkit.Matrix.dims ctvs in
+  Alcotest.(check int) "one row per site" n rows;
+  Alcotest.(check int) "dimension 2(n+1)" (2 * (n + 1)) cols
+
+let test_reduction_identity_when_small () =
+  let pctm = fig_pctm () in
+  let rng = Mlkit.Rng.create 3 in
+  let c = Reduction.cluster ~rng ~max_states:100 ~cluster_fraction:0.3 ~pca_variance:0.95 pctm in
+  Alcotest.(check bool) "no reduction below the threshold" false c.Reduction.reduced;
+  Alcotest.(check int) "one state per site" (Array.length c.Reduction.sites) c.Reduction.states
+
+let test_reduction_clusters_when_large () =
+  let pctm = fig_pctm () in
+  let rng = Mlkit.Rng.create 3 in
+  let c = Reduction.cluster ~rng ~max_states:2 ~cluster_fraction:0.5 ~pca_variance:0.95 pctm in
+  Alcotest.(check bool) "k-means ran" true c.Reduction.reduced;
+  Alcotest.(check bool) "fewer states than sites" true
+    (c.Reduction.states < Array.length c.Reduction.sites)
+
+let test_reduction_init_hmm_valid () =
+  let pctm = fig_pctm () in
+  let rng = Mlkit.Rng.create 3 in
+  let c = Reduction.cluster ~rng ~max_states:100 ~cluster_fraction:0.3 ~pca_variance:0.95 pctm in
+  let alphabet =
+    Array.of_list (List.sort_uniq Symbol.compare (List.map Symbol.observable (Analysis.Ctm.calls pctm)))
+  in
+  let model = Reduction.init_hmm pctm c ~alphabet in
+  Alcotest.(check bool) "initialized model is stochastic" true
+    (match Hmm.validate model with Ok () -> true | Error _ -> false)
+
+(* --- profile + detector (end to end on a small app) ---------------------------- *)
+
+let small_app =
+  {
+    Pipeline.name = "test-app";
+    source =
+      {|
+        fun main() {
+          let conn = db_connect("pg");
+          let id = scanf();
+          let q = strcat(strcat("SELECT name FROM t WHERE id = '", id), "'");
+          let r = pq_exec(conn, q);
+          let n = pq_ntuples(r);
+          for (let i = 0; i < n; i = i + 1) {
+            printf("%s\n", pq_getvalue(r, i, 0));
+          }
+          puts("bye");
+        }
+      |};
+    dbms = "PostgreSQL";
+    setup_db =
+      (fun e ->
+        ignore (Sqldb.Engine.exec e "CREATE TABLE t (id, name)");
+        for i = 0 to 9 do
+          ignore
+            (Sqldb.Engine.exec e (Printf.sprintf "INSERT INTO t VALUES (%d, 'n%d')" i i))
+        done);
+    test_cases =
+      List.init 10 (fun i -> Runtime.Testcase.make ~input:[ string_of_int i ] (Printf.sprintf "c%d" i));
+  }
+
+let trained = lazy (
+  let ds = Pipeline.collect small_app in
+  (ds, Pipeline.train ds))
+
+let test_profile_training () =
+  let _, profile = Lazy.force trained in
+  Alcotest.(check bool) "finite threshold" true (Float.is_finite profile.Profile.threshold);
+  Alcotest.(check bool) "model valid" true
+    (match Hmm.validate profile.Profile.model with Ok () -> true | Error _ -> false);
+  Alcotest.(check bool) "ran at least one round" true (profile.Profile.rounds_run >= 1);
+  Alcotest.(check bool) "profile size estimate positive" true (Profile.size_estimate profile > 0)
+
+let test_profile_scores_normals_high () =
+  let ds, profile = Lazy.force trained in
+  List.iter
+    (fun w ->
+      let s = Profile.score profile w in
+      Alcotest.(check bool) "normal window above threshold" true
+        (s >= profile.Profile.threshold))
+    ds.Pipeline.windows
+
+let test_detector_flags () =
+  let ds, profile = Lazy.force trained in
+  let w = List.hd ds.Pipeline.windows in
+  (* Normal *)
+  Alcotest.(check bool) "normal flag" true
+    ((Detector.classify profile w).Detector.flag = Detector.Normal);
+  (* Unknown call: anomalous, and with a label: data leak *)
+  let evil = { Window.obs = Array.copy w.Window.obs; callers = Array.copy w.Window.callers } in
+  evil.Window.obs.(0) <- Symbol.lib "evil_call";
+  let v = Detector.classify profile evil in
+  Alcotest.(check bool) "unknown symbol flagged" true (v.Detector.flag <> Detector.Normal);
+  Alcotest.(check bool) "unknown symbol reported" true v.Detector.unknown_symbol;
+  (* Out of context: known call, never-seen caller *)
+  let ooc = { Window.obs = Array.copy w.Window.obs; callers = Array.copy w.Window.callers } in
+  ooc.Window.callers.(0) <- "never_seen_function";
+  let v = Detector.classify profile ooc in
+  Alcotest.(check bool) "out-of-context pair reported" true (v.Detector.unknown_pair <> None)
+
+let test_detector_explain () =
+  let ds, profile = Lazy.force trained in
+  let w = List.hd ds.Pipeline.windows in
+  let evil = { Window.obs = Array.copy w.Window.obs; callers = Array.copy w.Window.callers } in
+  let pos = Array.length evil.Window.obs - 1 in
+  evil.Window.obs.(pos) <- Symbol.lib "evil_call";
+  (match Detector.explain ~top:1 profile evil with
+  | [ s ] ->
+      Alcotest.(check int) "unknown symbol ranked first" pos s.Detector.position;
+      Alcotest.(check bool) "infinite surprisal" true (s.Detector.surprisal = infinity)
+  | _ -> Alcotest.fail "expected one surprise");
+  (* On a normal window, surprisals are finite and sorted. *)
+  match Detector.explain ~top:3 profile w with
+  | (a :: b :: _ : Detector.surprise list) ->
+      Alcotest.(check bool) "sorted descending" true (a.Detector.surprisal >= b.Detector.surprisal);
+      Alcotest.(check bool) "finite on normal data" true (Float.is_finite a.Detector.surprisal)
+  | _ -> Alcotest.fail "expected several surprises"
+
+let test_detector_worst_ordering () =
+  let mk flag = { Detector.flag; score = 0.0; unknown_symbol = false; unknown_pair = None } in
+  Alcotest.(check bool) "DL dominates" true
+    (Detector.worst [ mk Detector.Anomalous; mk Detector.Data_leak; mk Detector.Normal ]
+    = Detector.Data_leak);
+  Alcotest.(check bool) "empty list is normal" true (Detector.worst [] = Detector.Normal)
+
+let test_pipeline_presets () =
+  Alcotest.(check bool) "cmarkov drops labels" false
+    Pipeline.cmarkov_params.Profile.use_labels;
+  Alcotest.(check bool) "cmarkov drops caller tracking" false
+    Pipeline.cmarkov_params.Profile.track_callers;
+  Alcotest.(check bool) "rand-hmm randomizes init" true
+    (Pipeline.rand_hmm_params.Profile.init = Profile.Init_random);
+  Alcotest.(check bool) "adprom uses the forecast" true
+    (Pipeline.adprom_params.Profile.init = Profile.Init_pctm)
+
+let test_report_table () =
+  let s = Adprom.Report.table ~title:"T" ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "333" ] ] in
+  Alcotest.(check bool) "title present" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check string) "percent cell" "12.30%" (Adprom.Report.percent_cell 0.123);
+  Alcotest.(check string) "-inf cell" "-inf" (Adprom.Report.float_cell neg_infinity)
+
+let () =
+  Alcotest.run "adprom"
+    [
+      ( "window",
+        [
+          Alcotest.test_case "sliding" `Quick test_window_sliding;
+          Alcotest.test_case "short traces" `Quick test_window_short_trace;
+          Alcotest.test_case "dedup" `Quick test_window_dedup;
+          Alcotest.test_case "labels" `Quick test_window_labels;
+          Alcotest.test_case "encode" `Quick test_window_encode;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "strategies" `Quick test_threshold_strategies;
+          Alcotest.test_case "validated candidate set" `Quick test_threshold_validated;
+          Alcotest.test_case "adaptive" `Quick test_threshold_adaptive;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "metrics" `Quick test_evaluation_metrics;
+          Alcotest.test_case "observe and merge" `Quick test_evaluation_observe_merge;
+          Alcotest.test_case "curve monotone" `Quick test_evaluation_curve_monotone;
+          Alcotest.test_case "kfold" `Quick test_kfold;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "ctv shape" `Quick test_reduction_ctv_shape;
+          Alcotest.test_case "identity when small" `Quick test_reduction_identity_when_small;
+          Alcotest.test_case "clusters when large" `Quick test_reduction_clusters_when_large;
+          Alcotest.test_case "initialized HMM is valid" `Quick test_reduction_init_hmm_valid;
+        ] );
+      ( "profile+detector",
+        [
+          Alcotest.test_case "training" `Quick test_profile_training;
+          Alcotest.test_case "normals above threshold" `Quick test_profile_scores_normals_high;
+          Alcotest.test_case "flags" `Quick test_detector_flags;
+          Alcotest.test_case "explain ranks surprisals" `Quick test_detector_explain;
+          Alcotest.test_case "worst ordering" `Quick test_detector_worst_ordering;
+          Alcotest.test_case "pipeline presets" `Quick test_pipeline_presets;
+          Alcotest.test_case "report formatting" `Quick test_report_table;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the HMM library: validation, forward vs brute-force
+   enumeration, Viterbi vs brute force, Baum-Welch monotonicity and
+   convergence. *)
+
+module Matrix = Mlkit.Matrix
+module Rng = Mlkit.Rng
+
+let tiny () =
+  (* 2 states, 3 symbols; hand-checked numbers. *)
+  Hmm.create
+    ~a:(Matrix.of_arrays [| [| 0.7; 0.3 |]; [| 0.4; 0.6 |] |])
+    ~b:(Matrix.of_arrays [| [| 0.5; 0.4; 0.1 |]; [| 0.1; 0.3; 0.6 |] |])
+    ~pi:[| 0.6; 0.4 |]
+
+(* Brute force P(O) by enumerating all state paths. *)
+let brute_force_likelihood (t : Hmm.t) obs =
+  let len = Array.length obs in
+  let rec paths depth =
+    if depth = 0 then [ [] ]
+    else List.concat_map (fun p -> List.init t.Hmm.n (fun s -> s :: p)) (paths (depth - 1))
+  in
+  List.fold_left
+    (fun acc path ->
+      let path = Array.of_list path in
+      let p = ref (t.Hmm.pi.(path.(0)) *. Matrix.get t.Hmm.b path.(0) obs.(0)) in
+      for step = 1 to len - 1 do
+        p :=
+          !p
+          *. Matrix.get t.Hmm.a path.(step - 1) path.(step)
+          *. Matrix.get t.Hmm.b path.(step) obs.(step)
+      done;
+      acc +. !p)
+    0.0 (paths len)
+
+let brute_force_viterbi (t : Hmm.t) obs =
+  let len = Array.length obs in
+  let rec paths depth =
+    if depth = 0 then [ [] ]
+    else List.concat_map (fun p -> List.init t.Hmm.n (fun s -> s :: p)) (paths (depth - 1))
+  in
+  List.fold_left
+    (fun (best_p, best_path) path ->
+      let arr = Array.of_list path in
+      let p = ref (t.Hmm.pi.(arr.(0)) *. Matrix.get t.Hmm.b arr.(0) obs.(0)) in
+      for step = 1 to len - 1 do
+        p :=
+          !p
+          *. Matrix.get t.Hmm.a arr.(step - 1) arr.(step)
+          *. Matrix.get t.Hmm.b arr.(step) obs.(step)
+      done;
+      if !p > best_p then (!p, arr) else (best_p, best_path))
+    (neg_infinity, [||])
+    (paths len)
+
+let test_create_validation () =
+  let bad_a = Matrix.of_arrays [| [| 0.9; 0.3 |]; [| 0.4; 0.6 |] |] in
+  Alcotest.(check bool) "bad rows rejected" true
+    (match
+       Hmm.create ~a:bad_a
+         ~b:(Matrix.of_arrays [| [| 1.0 |]; [| 1.0 |] |])
+         ~pi:[| 0.5; 0.5 |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "uniform model valid" true
+    (match Hmm.validate (Hmm.uniform ~n:3 ~m:4) with Ok () -> true | Error _ -> false);
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "random model valid" true
+    (match Hmm.validate (Hmm.random ~rng ~n:5 ~m:7) with Ok () -> true | Error _ -> false)
+
+let test_forward_matches_brute_force () =
+  let t = tiny () in
+  List.iter
+    (fun obs ->
+      let obs = Array.of_list obs in
+      let expected = log (brute_force_likelihood t obs) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "sequence of length %d" (Array.length obs))
+        expected (Hmm.log_likelihood t obs))
+    [ [ 0 ]; [ 2 ]; [ 0; 1 ]; [ 2; 2; 0 ]; [ 1; 0; 2; 1 ]; [ 0; 0; 0; 0; 0 ] ]
+
+let test_impossible_sequence () =
+  (* State emissions exclude symbol 1 entirely. *)
+  let t =
+    Hmm.create
+      ~a:(Matrix.of_arrays [| [| 1.0 |] |])
+      ~b:(Matrix.of_arrays [| [| 1.0; 0.0 |] |])
+      ~pi:[| 1.0 |]
+  in
+  Alcotest.(check (float 0.0)) "impossible is -inf" neg_infinity (Hmm.log_likelihood t [| 0; 1 |]);
+  Alcotest.(check (float 0.0)) "empty sequence is 0" 0.0 (Hmm.log_likelihood t [||])
+
+let test_observation_range () =
+  let t = tiny () in
+  Alcotest.(check bool) "out-of-range observation rejected" true
+    (match Hmm.log_likelihood t [| 0; 3 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_viterbi_matches_brute_force () =
+  let t = tiny () in
+  List.iter
+    (fun obs ->
+      let obs = Array.of_list obs in
+      let path, logp = Hmm.viterbi t obs in
+      let bf_p, bf_path = brute_force_viterbi t obs in
+      Alcotest.(check (float 1e-9)) "viterbi log-probability" (log bf_p) logp;
+      Alcotest.(check (array int)) "viterbi path" bf_path path)
+    [ [ 0; 1 ]; [ 2; 2; 0 ]; [ 1; 0; 2; 1 ] ]
+
+let test_forward_backward_consistency () =
+  (* Likelihood computed from backward at t=0 must agree with forward. *)
+  let t = tiny () in
+  let obs = [| 0; 2; 1; 1; 0 |] in
+  let _, scale = Hmm.forward t obs in
+  let beta = Hmm.backward t obs scale in
+  (* sum_i pi_i b_i(o0) beta_hat_0(i) = P(O) / prod(scale) * ... ; with
+     our scaling the identity is sum_i pi_i b_i(o0) beta0(i) = 1. *)
+  let acc = ref 0.0 in
+  for i = 0 to t.Hmm.n - 1 do
+    acc := !acc +. (t.Hmm.pi.(i) *. Matrix.get t.Hmm.b i obs.(0) *. beta.(0).(i))
+  done;
+  Alcotest.(check (float 1e-9)) "backward closes the recursion" 1.0 !acc
+
+let test_baum_welch_improves () =
+  let rng = Rng.create 42 in
+  let t0 = Hmm.random ~rng ~n:3 ~m:4 in
+  let seqs = [ ([| 0; 1; 2; 3; 0; 1; 2; 3 |], 1.0); ([| 0; 1; 0; 1 |], 2.0) ] in
+  let t1, ll1 = Hmm.baum_welch_step t0 seqs in
+  let _, ll2 = Hmm.baum_welch_step t1 seqs in
+  Alcotest.(check bool) "one EM step improves the likelihood" true (ll2 >= ll1 -. 1e-9)
+
+let prop_baum_welch_monotone =
+  QCheck2.Test.make ~name:"EM is monotone on random instances" ~count:30
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 2 4))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let t0 = Hmm.random ~rng ~n ~m:3 in
+      let seqs =
+        List.init 4 (fun i ->
+            (Array.init (4 + (i mod 3)) (fun j -> (seed + i + j) mod 3), 1.0))
+      in
+      let t1, ll1 = Hmm.baum_welch_step t0 seqs in
+      let _, ll2 = Hmm.baum_welch_step t1 seqs in
+      (* The epsilon smoothing can cost a hair of likelihood; allow a
+         small tolerance. *)
+      ll2 >= ll1 -. 1e-3)
+
+let test_fit_learns_pattern () =
+  (* Alternating observations: a 2-state model must learn it and assign
+     much higher likelihood to alternation than to repetition. *)
+  let rng = Rng.create 7 in
+  let t0 = Hmm.random ~rng ~n:2 ~m:2 in
+  let train = [ (Array.init 20 (fun i -> i mod 2), 1.0) ] in
+  let t, history = Hmm.fit ~max_iterations:60 t0 train in
+  Alcotest.(check bool) "fit produced iterations" true (List.length history > 0);
+  let good = Hmm.per_symbol_score t (Array.init 10 (fun i -> i mod 2)) in
+  let bad = Hmm.per_symbol_score t (Array.make 10 0) in
+  Alcotest.(check bool) "alternation preferred after training" true (good > bad +. 0.5)
+
+let test_per_symbol_score () =
+  let t = tiny () in
+  let obs = [| 0; 1; 2 |] in
+  Alcotest.(check (float 1e-9)) "score is loglik / length"
+    (Hmm.log_likelihood t obs /. 3.0)
+    (Hmm.per_symbol_score t obs)
+
+let test_sample_distribution () =
+  (* A deterministic cycle model must sample its cycle. *)
+  let t =
+    Hmm.create
+      ~a:(Matrix.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |])
+      ~b:(Matrix.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |])
+      ~pi:[| 1.0; 0.0 |]
+  in
+  let rng = Rng.create 5 in
+  let obs = Hmm.sample ~rng t 8 in
+  Alcotest.(check (array int)) "alternating sample" [| 0; 1; 0; 1; 0; 1; 0; 1 |] obs;
+  Alcotest.(check (float 1e-9)) "sample has probability 1" 0.0 (Hmm.log_likelihood t obs)
+
+let test_sample_scores_high () =
+  let rng = Rng.create 17 in
+  let t = Hmm.random ~rng ~n:3 ~m:5 in
+  let own = Hmm.per_symbol_score t (Hmm.sample ~rng t 40) in
+  (* Uniform noise over the alphabet should look worse on average. *)
+  let noise = Array.init 40 (fun i -> (i * 7) mod 5) in
+  let other = Hmm.per_symbol_score t noise in
+  Alcotest.(check bool) "finite scores" true (Float.is_finite own && Float.is_finite other)
+
+let test_step_surprisals () =
+  let t = tiny () in
+  let obs = [| 0; 1; 2; 0 |] in
+  let s = Hmm.step_surprisals t obs in
+  Alcotest.(check int) "one surprisal per step" 4 (Array.length s);
+  let total = Array.fold_left ( +. ) 0.0 s in
+  Alcotest.(check (float 1e-9)) "surprisals sum to -loglik" (-.Hmm.log_likelihood t obs) total
+
+let test_stochastic_after_em () =
+  let rng = Rng.create 9 in
+  let t0 = Hmm.random ~rng ~n:3 ~m:3 in
+  let t1, _ = Hmm.baum_welch_step t0 [ ([| 0; 1; 2; 0 |], 1.0) ] in
+  Alcotest.(check bool) "re-estimated model is valid" true
+    (match Hmm.validate t1 with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "hmm"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "observation range" `Quick test_observation_range;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "forward = brute force" `Quick test_forward_matches_brute_force;
+          Alcotest.test_case "impossible / empty sequences" `Quick test_impossible_sequence;
+          Alcotest.test_case "forward/backward consistency" `Quick test_forward_backward_consistency;
+          Alcotest.test_case "per-symbol score" `Quick test_per_symbol_score;
+        ] );
+      ( "decoding",
+        [ Alcotest.test_case "viterbi = brute force" `Quick test_viterbi_matches_brute_force ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "deterministic cycle" `Quick test_sample_distribution;
+          Alcotest.test_case "samples score finitely" `Quick test_sample_scores_high;
+          Alcotest.test_case "step surprisals decompose loglik" `Quick test_step_surprisals;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "one EM step improves" `Quick test_baum_welch_improves;
+          Alcotest.test_case "EM keeps the model stochastic" `Quick test_stochastic_after_em;
+          Alcotest.test_case "fit learns an alternating pattern" `Quick test_fit_learns_pattern;
+          QCheck_alcotest.to_alcotest prop_baum_welch_monotone;
+        ] );
+    ]

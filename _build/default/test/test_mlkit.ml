@@ -1,0 +1,314 @@
+(* Unit and property tests for the mlkit substrate: RNG, matrices,
+   statistics, PCA and k-means. *)
+
+module Rng = Mlkit.Rng
+module Matrix = Mlkit.Matrix
+module Stats = Mlkit.Stats
+module Pca = Mlkit.Pca
+module Kmeans = Mlkit.Kmeans
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_rng_split_independent () =
+  let rng = Rng.create 11 in
+  let child = Rng.split rng in
+  let xs = List.init 50 (fun _ -> Rng.int rng 100) in
+  let ys = List.init 50 (fun _ -> Rng.int child 100) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let test_rng_weighted () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Rng.choose_weighted rng [| 1.0; 2.0; 7.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "weight ordering respected" true
+    (counts.(2) > counts.(1) && counts.(1) > counts.(0));
+  let p2 = float_of_int counts.(2) /. 30_000.0 in
+  Alcotest.(check bool) "heaviest near 0.7" true (Float.abs (p2 -. 0.7) < 0.03)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let xs = Array.init 50_000 (fun _ -> Rng.gaussian rng) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs (Stats.mean xs) < 0.02);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (Stats.stddev xs -. 1.0) < 0.02)
+
+(* --- matrix ------------------------------------------------------------ *)
+
+let test_matrix_basic () =
+  let m = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check_float "get" 3.0 (Matrix.get m 1 0);
+  Matrix.set m 1 0 9.0;
+  check_float "set" 9.0 (Matrix.get m 1 0);
+  Alcotest.(check (pair int int)) "dims" (2, 2) (Matrix.dims m)
+
+let test_matrix_identity_mul () =
+  let m = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "I * m = m" true (Matrix.equal (Matrix.mul (Matrix.identity 2) m) m);
+  Alcotest.(check bool) "m * I = m" true (Matrix.equal (Matrix.mul m (Matrix.identity 2)) m)
+
+let test_matrix_mul_known () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let expected = Matrix.of_arrays [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |] in
+  Alcotest.(check bool) "2x2 product" true (Matrix.equal (Matrix.mul a b) expected)
+
+let test_matrix_transpose () =
+  let m = Matrix.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let t = Matrix.transpose m in
+  Alcotest.(check (pair int int)) "transposed dims" (3, 2) (Matrix.dims t);
+  check_float "element moved" 6.0 (Matrix.get t 2 1)
+
+let test_matrix_normalize_rows () =
+  let m = Matrix.of_arrays [| [| 2.0; 2.0 |]; [| 0.0; 0.0 |] |] in
+  let n = Matrix.normalize_rows m in
+  check_float "normalized" 0.5 (Matrix.get n 0 0);
+  check_float "zero row becomes uniform" 0.5 (Matrix.get n 1 1)
+
+let test_matrix_sums () =
+  let m = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (array (float 1e-9))) "row sums" [| 3.0; 7.0 |] (Matrix.row_sums m);
+  Alcotest.(check (array (float 1e-9))) "col sums" [| 4.0; 6.0 |] (Matrix.col_sums m)
+
+let test_matrix_errors () =
+  let m = Matrix.create 2 2 in
+  Alcotest.check_raises "oob get" (Invalid_argument "Matrix.get: out of bounds") (fun () ->
+      ignore (Matrix.get m 2 0));
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_arrays: ragged rows")
+    (fun () -> ignore (Matrix.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let matrix_gen =
+  QCheck2.Gen.(
+    let dim = int_range 1 6 in
+    pair dim dim >>= fun (r, c) ->
+    array_size (pure (r * c)) (float_range (-10.0) 10.0) >|= fun data ->
+    Matrix.init r c (fun i j -> data.((i * c) + j)))
+
+let prop_transpose_involution =
+  QCheck2.Test.make ~name:"transpose is an involution" ~count:100 matrix_gen (fun m ->
+      Matrix.equal (Matrix.transpose (Matrix.transpose m)) m)
+
+let prop_mul_vec_matches_mul =
+  QCheck2.Test.make ~name:"mul_vec agrees with mul" ~count:100 matrix_gen (fun m ->
+      let _, c = Matrix.dims m in
+      let v = Array.init c (fun i -> float_of_int i +. 0.5) in
+      let as_matrix = Matrix.init c 1 (fun i _ -> v.(i)) in
+      let direct = Matrix.mul_vec m v in
+      let via_mul = Matrix.col (Matrix.mul m as_matrix) 0 in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) direct via_mul)
+
+(* --- stats ------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" 1.25 (Stats.variance xs);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "min max" (1.0, 4.0) (Stats.min_max xs)
+
+let test_stats_quantile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "median" 2.5 (Stats.quantile xs 0.5);
+  check_float "min" 1.0 (Stats.quantile xs 0.0);
+  check_float "max" 4.0 (Stats.quantile xs 1.0)
+
+let test_stats_logsumexp () =
+  let xs = [| log 1.0; log 2.0; log 3.0 |] in
+  check_float_loose "logsumexp" (log 6.0) (Stats.logsumexp xs);
+  check_float "empty" neg_infinity (Stats.logsumexp [||]);
+  check_float_loose "large values do not overflow" (1000.0 +. log 2.0)
+    (Stats.logsumexp [| 1000.0; 1000.0 |])
+
+let test_stats_argminmax () =
+  Alcotest.(check int) "argmax" 2 (Stats.argmax [| 1.0; 0.0; 5.0; 5.0 |]);
+  Alcotest.(check int) "argmin" 1 (Stats.argmin [| 1.0; 0.0; 5.0 |])
+
+(* --- pca --------------------------------------------------------------- *)
+
+let test_pca_jacobi_known () =
+  let m = Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let values, vectors = Pca.jacobi_eigen m in
+  check_float_loose "largest eigenvalue" 3.0 values.(0);
+  check_float_loose "second eigenvalue" 1.0 values.(1);
+  let v0 = Matrix.row vectors 0 in
+  let mv = Matrix.mul_vec m v0 in
+  Array.iteri
+    (fun i x -> check_float_loose (Printf.sprintf "Mv = 3v [%d]" i) (3.0 *. v0.(i)) x)
+    mv
+
+let test_pca_recovers_principal_axis () =
+  let rng = Rng.create 21 in
+  let rows =
+    Array.init 200 (fun _ ->
+        let t = Rng.gaussian rng *. 10.0 in
+        let noise = Rng.gaussian rng *. 0.1 in
+        [| t +. noise; t -. noise |])
+  in
+  let model = Pca.fit ~variance_kept:0.9 (Matrix.of_arrays rows) in
+  let axis = Matrix.row model.Pca.components 0 in
+  let alignment = Float.abs ((axis.(0) +. axis.(1)) /. sqrt 2.0) in
+  Alcotest.(check bool) "first axis is the diagonal" true (alignment > 0.999);
+  Alcotest.(check int) "one component kept" 1 (fst (Matrix.dims model.Pca.components))
+
+let test_pca_transform_shape () =
+  let rng = Rng.create 2 in
+  let rows = Array.init 40 (fun _ -> Array.init 6 (fun _ -> Rng.float rng 1.0)) in
+  let model, projected = Pca.fit_transform ~variance_kept:0.99 (Matrix.of_arrays rows) in
+  let n, k = Matrix.dims projected in
+  Alcotest.(check int) "rows preserved" 40 n;
+  Alcotest.(check bool) "dimension reduced or equal" true (k <= 6);
+  let ratios = Pca.explained_variance_ratio model in
+  let total = Array.fold_left ( +. ) 0.0 ratios in
+  Alcotest.(check bool) "ratios form a distribution" true (total <= 1.0 +. 1e-9 && total > 0.0)
+
+let prop_jacobi_reconstructs =
+  QCheck2.Test.make ~name:"jacobi: eigenvalues sum to the trace" ~count:50
+    QCheck2.Gen.(array_size (pure 9) (float_range (-5.0) 5.0))
+    (fun data ->
+      let m = Matrix.init 3 3 (fun i j -> (data.((i * 3) + j) +. data.((j * 3) + i)) /. 2.0) in
+      let values, _ = Pca.jacobi_eigen m in
+      let trace = Matrix.get m 0 0 +. Matrix.get m 1 1 +. Matrix.get m 2 2 in
+      Float.abs (Array.fold_left ( +. ) 0.0 values -. trace) < 1e-6)
+
+(* --- kmeans ------------------------------------------------------------ *)
+
+let test_kmeans_separated_clusters () =
+  let rng = Rng.create 33 in
+  let cluster cx cy =
+    Array.init 30 (fun _ -> [| cx +. Rng.float rng 0.5; cy +. Rng.float rng 0.5 |])
+  in
+  let data = Array.concat [ cluster 0.0 0.0; cluster 10.0 10.0; cluster (-10.0) 5.0 ] in
+  let result = Kmeans.cluster ~rng ~k:3 (Matrix.of_arrays data) in
+  let k, _ = Matrix.dims result.Kmeans.centroids in
+  Alcotest.(check int) "three clusters survive" 3 k;
+  let blob_label blob = result.Kmeans.assignment.(blob * 30) in
+  for blob = 0 to 2 do
+    for i = 0 to 29 do
+      Alcotest.(check int)
+        (Printf.sprintf "blob %d homogeneous" blob)
+        (blob_label blob)
+        result.Kmeans.assignment.((blob * 30) + i)
+    done
+  done
+
+let test_kmeans_centroids_are_means () =
+  let rng = Rng.create 4 in
+  let data = Matrix.of_arrays [| [| 0.0 |]; [| 1.0 |]; [| 10.0 |]; [| 11.0 |] |] in
+  let result = Kmeans.cluster ~rng ~k:2 data in
+  let members = Kmeans.cluster_members result in
+  Array.iteri
+    (fun c idxs ->
+      let mean =
+        Array.fold_left (fun acc i -> acc +. Matrix.get data i 0) 0.0 idxs
+        /. float_of_int (Array.length idxs)
+      in
+      check_float_loose
+        (Printf.sprintf "centroid %d is the member mean" c)
+        mean
+        (Matrix.get result.Kmeans.centroids c 0))
+    members
+
+let test_kmeans_deterministic () =
+  let data =
+    Matrix.of_arrays
+      (Array.init 20 (fun i -> [| float_of_int (i mod 5); float_of_int (i / 5) |]))
+  in
+  let r1 = Kmeans.cluster ~rng:(Rng.create 8) ~k:4 data in
+  let r2 = Kmeans.cluster ~rng:(Rng.create 8) ~k:4 data in
+  Alcotest.(check (array int)) "same seed, same clustering" r1.Kmeans.assignment
+    r2.Kmeans.assignment
+
+let prop_kmeans_assignment_dense =
+  QCheck2.Test.make ~name:"kmeans: assignments cover a dense range" ~count:50
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 40))
+    (fun (k, n) ->
+      let rng = Rng.create (k + (n * 31)) in
+      let data = Matrix.init n 2 (fun _ _ -> Rng.float rng 10.0) in
+      let r = Kmeans.cluster ~rng ~k data in
+      let k', _ = Matrix.dims r.Kmeans.centroids in
+      let seen = Array.make k' false in
+      Array.iter (fun c -> seen.(c) <- true) r.Kmeans.assignment;
+      Array.for_all (fun b -> b) seen)
+
+let () =
+  Alcotest.run "mlkit"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "invalid arguments" `Quick test_rng_invalid;
+          Alcotest.test_case "weighted choice" `Quick test_rng_weighted;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "get/set/dims" `Quick test_matrix_basic;
+          Alcotest.test_case "identity multiplication" `Quick test_matrix_identity_mul;
+          Alcotest.test_case "known product" `Quick test_matrix_mul_known;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "normalize rows" `Quick test_matrix_normalize_rows;
+          Alcotest.test_case "row/col sums" `Quick test_matrix_sums;
+          Alcotest.test_case "errors" `Quick test_matrix_errors;
+          QCheck_alcotest.to_alcotest prop_transpose_involution;
+          QCheck_alcotest.to_alcotest prop_mul_vec_matches_mul;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance/minmax" `Quick test_stats_basic;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "logsumexp" `Quick test_stats_logsumexp;
+          Alcotest.test_case "argmax/argmin" `Quick test_stats_argminmax;
+        ] );
+      ( "pca",
+        [
+          Alcotest.test_case "jacobi on a known matrix" `Quick test_pca_jacobi_known;
+          Alcotest.test_case "recovers the principal axis" `Quick test_pca_recovers_principal_axis;
+          Alcotest.test_case "transform shape and ratios" `Quick test_pca_transform_shape;
+          QCheck_alcotest.to_alcotest prop_jacobi_reconstructs;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "separated clusters recovered" `Quick test_kmeans_separated_clusters;
+          Alcotest.test_case "centroids are member means" `Quick test_kmeans_centroids_are_means;
+          Alcotest.test_case "deterministic under a seed" `Quick test_kmeans_deterministic;
+          QCheck_alcotest.to_alcotest prop_kmeans_assignment_dense;
+        ] );
+    ]
