@@ -1,0 +1,89 @@
+(* Service throughput: the monitoring daemon at 1, 2 and 4 worker
+   domains on one interleaved multi-tenant burst.
+
+   The workload replays the banking application's normal sessions,
+   replicated to 64 concurrent tenants (~19k events), against a FIXED
+   per-shard queue capacity — bounded queue memory is the daemon's
+   operating constraint. A single shard cannot absorb the burst: it
+   sheds most tenants and the work already spent on their prefixes is
+   discarded with them. Sharding multiplies the absorbable backlog, so
+   the useful rate — events of verdict-complete sessions per second —
+   rises strictly with the domain count even on a single core; on a
+   multi-core host the HMM scoring additionally parallelizes. Every
+   shed event is counted and reported. *)
+
+module Service = Adprom_service
+
+let sessions_count = 64
+let repeats = 4 (* lengthen each session: trace concatenated with itself *)
+let capacity = 8192 (* per-shard queue bound, identical in all configs *)
+
+let workload () =
+  let t = Lazy.force Common.ca_banking in
+  let traces = List.map snd t.Common.dataset.Adprom.Pipeline.traces in
+  let base = Array.of_list traces in
+  let sessions =
+    List.init sessions_count (fun i ->
+        let t = base.(i mod Array.length base) in
+        Array.concat (List.init repeats (fun _ -> t)))
+  in
+  let rng = Mlkit.Rng.create 4242 in
+  (Lazy.force t.Common.adprom, Adprom.Sessions.interleave ~rng sessions)
+
+let run () =
+  Common.heading "Online daemon: 1 vs 2 vs 4 worker domains, fixed per-shard queues";
+  let profile, stream = workload () in
+  Printf.printf "%d sessions, %d events, queue capacity %d/shard, %d HMM states\n%!"
+    sessions_count (Array.length stream) capacity
+    profile.Adprom.Profile.clustering.Adprom.Reduction.states;
+  let monitored summary =
+    List.fold_left
+      (fun acc (r : Service.Daemon.session_report) -> acc + r.Service.Daemon.events)
+      0 summary.Service.Daemon.sessions
+  in
+  let results =
+    List.map
+      (fun shards ->
+        let outcome =
+          Service.Replay.run ~shards ~queue_capacity:capacity ~keep_verdicts:false
+            profile stream
+        in
+        (shards, outcome))
+      [ 1; 2; 4 ]
+  in
+  let rate (_, o) =
+    float_of_int (monitored o.Service.Replay.summary) /. o.Service.Replay.seconds
+  in
+  let base_rate = match results with r :: _ -> rate r | [] -> 1.0 in
+  Adprom.Report.print
+    ~header:
+      [
+        "domains";
+        "monitored events/sec";
+        "speedup";
+        "complete sessions";
+        "shed sessions";
+        "shed events";
+        "seconds";
+      ]
+    (List.map
+       (fun ((shards, outcome) as r) ->
+         let summary = outcome.Service.Replay.summary in
+         [
+           string_of_int shards;
+           Printf.sprintf "%.0f" (rate r);
+           Printf.sprintf "%.2fx" (rate r /. base_rate);
+           Printf.sprintf "%d / %d"
+             (List.length summary.Service.Daemon.sessions)
+             sessions_count;
+           string_of_int (List.length summary.Service.Daemon.shed);
+           string_of_int summary.Service.Daemon.events_dropped;
+           Printf.sprintf "%.3f" outcome.Service.Replay.seconds;
+         ])
+       results);
+  Printf.printf
+    "\nExpected shape: with one shard the burst overflows the queue bound, most\n\
+     tenants are shed and their partially scored prefixes are wasted; more\n\
+     domains absorb the whole burst, so useful monitored events/sec rises\n\
+     strictly. Shed events are counted above, never silently lost. On a\n\
+     multi-core host the scoring itself parallelizes on top of this.\n"

@@ -21,6 +21,7 @@ let experiments =
     ("fig10", Exp_fig10.run);
     ("crossval", Exp_crossval.run);
     ("interleaved-sessions", Exp_operations.sessions);
+    ("service-throughput", Exp_service.run);
     ("drift", Exp_operations.drift);
     ("profile-size", Exp_profile_size.run);
     ("ablation-cluster", Exp_ablation.cluster);

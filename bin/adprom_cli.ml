@@ -252,6 +252,228 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Monitor one run of a program against a stored profile.")
     Term.(ret (const check_cmd_run $ profile_arg $ check_file_arg $ inputs_arg))
 
+(* --- record / replay / serve: the online monitoring daemon ------------- *)
+
+module Service = Adprom_service
+
+let shards_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"N" ~doc:"Worker domains of the daemon (one shard each).")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "capacity" ] ~docv:"N"
+        ~doc:"Bounded per-shard queue capacity; overflowing sessions are shed.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Interleaving RNG seed.")
+
+let print_summary ?(labels = []) (summary : Service.Daemon.summary) =
+  let label s = match List.assoc_opt s labels with Some l -> l | None -> "" in
+  Adprom.Report.print
+    ~header:[ "session"; "label"; "events"; "windows"; "verdict" ]
+    (List.map
+       (fun (r : Service.Daemon.session_report) ->
+         [
+           string_of_int r.Service.Daemon.session;
+           label r.Service.Daemon.session;
+           string_of_int r.Service.Daemon.events;
+           string_of_int r.Service.Daemon.windows;
+           Adprom.Detector.flag_to_string r.Service.Daemon.worst;
+         ])
+       summary.Service.Daemon.sessions);
+  if summary.Service.Daemon.shed <> [] then begin
+    Printf.printf "\nShed sessions (queue overload — whole sessions, never single events):\n";
+    List.iter
+      (fun (s, dropped, discarded) ->
+        Printf.printf "  session %d%s: %d events dropped, %d accepted events discarded\n" s
+          (match label s with "" -> "" | l -> " (" ^ l ^ ")")
+          dropped discarded)
+      summary.Service.Daemon.shed
+  end;
+  Printf.printf "\nevents: offered %d, ingested %d, dropped %d\n"
+    summary.Service.Daemon.events_offered summary.Service.Daemon.events_ingested
+    summary.Service.Daemon.events_dropped
+
+let print_outcome ?labels (outcome : Service.Replay.outcome) =
+  print_summary ?labels outcome.Service.Replay.summary;
+  Printf.printf "\n--- incident log (%d incidents) ---\n"
+    (Service.Alerts.count outcome.Service.Replay.alerts);
+  (match Service.Alerts.to_string outcome.Service.Replay.alerts with
+  | "" -> print_endline "(empty)"
+  | log -> print_endline log);
+  Printf.printf "\n--- metrics ---\n%s" (Service.Metrics.dump outcome.Service.Replay.metrics);
+  Printf.printf "\nthroughput: %.0f events/sec (%.3fs)\n"
+    (Service.Replay.throughput outcome)
+    outcome.Service.Replay.seconds
+
+let record_cmd_run app_name output sessions seed =
+  match List.assoc_opt app_name (builtin_apps ()) with
+  | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
+  | Some app ->
+      let analysis = Adprom.Pipeline.analyze_app app in
+      let cases = app.Adprom.Pipeline.test_cases in
+      if cases = [] then `Error (false, "app has no test cases")
+      else begin
+        let traces =
+          List.init sessions (fun i ->
+              let tc = List.nth cases (i mod List.length cases) in
+              fst (Adprom.Pipeline.run_case ~analysis app tc))
+        in
+        let rng = Mlkit.Rng.create seed in
+        let stream = Adprom.Sessions.interleave ~rng traces in
+        Service.Codec.save stream output;
+        Printf.printf "%d sessions, %d events -> %s\n" sessions (Array.length stream) output;
+        `Ok ()
+      end
+
+let sessions_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "sessions" ] ~docv:"N" ~doc:"Number of concurrent sessions to simulate.")
+
+let record_cmd =
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a built-in app as N concurrent sessions and write the interleaved host \
+          stream in the daemon wire format.")
+    Term.(ret (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg))
+
+let replay_cmd_run profile_path events_path shards capacity verify =
+  match Adprom.Profile_io.load profile_path with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
+  | Ok profile -> (
+      match Service.Codec.load events_path with
+      | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
+      | Ok stream ->
+          let outcome =
+            Service.Replay.run ~shards ~queue_capacity:capacity profile stream
+          in
+          print_outcome outcome;
+          if verify then begin
+            let mismatches =
+              Service.Replay.verify_against_batch profile stream
+                outcome.Service.Replay.summary
+            in
+            if mismatches = [] then begin
+              Printf.printf "\nverify: live verdicts match batch detection exactly\n";
+              `Ok ()
+            end
+            else begin
+              Printf.printf "\nverify: %d MISMATCHES\n" (List.length mismatches);
+              List.iter
+                (fun m -> print_endline ("  " ^ Service.Replay.mismatch_to_string m))
+                mismatches;
+              `Error (false, "daemon diverged from batch detection")
+            end
+          end
+          else `Ok ())
+
+let events_file_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"EVENTS" ~doc:"Interleaved event stream (see `adprom record`).")
+
+let verify_flag =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Check the streamed verdicts against batch detection on the demuxed traces.")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Stream a recorded multi-session event file through the monitoring daemon and \
+          print per-session verdicts, incidents and metrics.")
+    Term.(
+      ret
+        (const replay_cmd_run $ profile_arg $ events_file_arg $ shards_arg $ capacity_arg
+       $ verify_flag))
+
+let serve_cmd_run app_name shards capacity seed =
+  match List.assoc_opt app_name (builtin_apps ()) with
+  | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
+  | Some app ->
+      Printf.printf "Training %s ...\n%!" app.Adprom.Pipeline.name;
+      let dataset = Adprom.Pipeline.collect app in
+      let profile = Adprom.Pipeline.train dataset in
+      let analysis = dataset.Adprom.Pipeline.analysis in
+      (* Normal tenants: one session per test case, re-run to get the
+         run-level outcomes the auditor needs. *)
+      let normal =
+        List.map
+          (fun tc ->
+            let trace, outcome = Adprom.Pipeline.run_case ~analysis app tc in
+            ("normal", trace, Some outcome))
+          app.Adprom.Pipeline.test_cases
+      in
+      let qsig =
+        Adprom.Audit.learn (List.filter_map (fun (_, _, o) -> o) normal)
+      in
+      (* Malicious tenants: every built-in attack on this app joins the
+         same host stream, audited against the query-signature profile. *)
+      let attacks =
+        List.filter
+          (fun (c : Dataset.Ca_attacks.case) ->
+            c.Dataset.Ca_attacks.app.Adprom.Pipeline.name = app.Adprom.Pipeline.name)
+          (Dataset.Ca_attacks.all ())
+      in
+      let malicious =
+        List.concat_map
+          (fun (c : Dataset.Ca_attacks.case) ->
+            let app', patches, rewriter =
+              Attack.Scenario.apply c.Dataset.Ca_attacks.scenario app
+            in
+            let analysis' = Adprom.Pipeline.analyze_app app' in
+            List.map
+              (fun tc ->
+                let trace, outcome =
+                  Adprom.Pipeline.run_case ~patches ?query_rewriter:rewriter
+                    ~analysis:analysis' app' tc
+                in
+                (c.Dataset.Ca_attacks.label, trace, Some outcome))
+              app'.Adprom.Pipeline.test_cases)
+          attacks
+      in
+      let sessions = normal @ malicious in
+      let labels = List.mapi (fun i (l, _, _) -> (i, l)) sessions in
+      let rng = Mlkit.Rng.create seed in
+      let stream =
+        Adprom.Sessions.interleave ~rng (List.map (fun (_, t, _) -> t) sessions)
+      in
+      Printf.printf "Serving %d sessions (%d normal, %d attack), %d events, %d shards ...\n%!"
+        (List.length sessions) (List.length normal) (List.length malicious)
+        (Array.length stream) shards;
+      let alerts = Service.Alerts.create () in
+      List.iteri
+        (fun i (_, _, outcome) ->
+          match outcome with
+          | Some o ->
+              List.iter
+                (Service.Alerts.record_finding alerts ~session:i)
+                (Adprom.Audit.audit ~qsig o)
+          | None -> ())
+        sessions;
+      let outcome =
+        Service.Replay.run ~shards ~queue_capacity:capacity ~alerts profile stream
+      in
+      print_outcome ~labels outcome;
+      `Ok ()
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "End-to-end daemon demo: train on a built-in app, interleave its normal \
+          sessions with its attack scenarios into one host stream, monitor the stream \
+          online and print the unified incident log.")
+    Term.(ret (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg))
+
 (* --- list-apps --------------------------------------------------------- *)
 
 let list_cmd =
@@ -273,4 +495,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "adprom" ~doc)
-          [ analyze_cmd; run_cmd; demo_cmd; train_cmd; check_cmd; list_cmd ]))
+          [
+            analyze_cmd;
+            run_cmd;
+            demo_cmd;
+            train_cmd;
+            check_cmd;
+            record_cmd;
+            replay_cmd;
+            serve_cmd;
+            list_cmd;
+          ]))

@@ -36,27 +36,38 @@ let to_string trace =
     trace;
   Buffer.contents buf
 
+let parse_event line =
+  match String.split_on_char '\t' line with
+  | [ caller; block; sym ] -> (
+      match int_of_string_opt block with
+      | None -> Error (Printf.sprintf "bad block id %S" block)
+      | Some block -> (
+          match decode_symbol sym with
+          | Ok symbol -> Ok { Collector.caller; block; symbol }
+          | Error e -> Error e))
+  | fields ->
+      Error
+        (Printf.sprintf "expected 3 tab-separated fields (caller, block, symbol), got %d"
+           (List.length fields))
+
+(* Tolerate CRLF line endings: the fields themselves never contain '\r'. *)
+let chomp line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
 let of_string text =
-  let lines =
-    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
-  in
-  let parse line =
-    match String.split_on_char '\t' line with
-    | [ caller; block; sym ] -> (
-        match (int_of_string_opt block, decode_symbol sym) with
-        | Some block, Ok symbol -> Ok { Collector.caller; block; symbol }
-        | None, _ -> Error ("bad block id in: " ^ line)
-        | _, Error e -> Error e)
-    | _ -> Error ("bad trace line: " ^ line)
-  in
-  let rec go acc = function
+  let rec go acc lineno = function
     | [] -> Ok (Array.of_list (List.rev acc))
-    | l :: rest -> (
-        match parse l with
-        | Ok e -> go (e :: acc) rest
-        | Error e -> Error e)
+    | line :: rest -> (
+        let line = chomp line in
+        match String.trim line with
+        | "" -> go acc (lineno + 1) rest
+        | _ -> (
+            match parse_event line with
+            | Ok e -> go (e :: acc) (lineno + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
   in
-  go [] lines
+  go [] 1 (String.split_on_char '\n' text)
 
 let save trace path =
   let oc = open_out_bin path in

@@ -1,0 +1,69 @@
+module Detector = Adprom.Detector
+module Audit = Adprom.Audit
+
+type source =
+  | Verdict of { window_index : int; verdict : Detector.verdict }
+  | Finding of Audit.finding
+
+type incident = { seq : int; time : float; session : int; source : source }
+
+type t = {
+  mutex : Mutex.t;
+  seq : int Atomic.t;
+  mutable incidents_rev : incident list;
+  clock : unit -> float;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { mutex = Mutex.create (); seq = Atomic.make 0; incidents_rev = []; clock }
+
+let record t ~session source =
+  let incident =
+    { seq = Atomic.fetch_and_add t.seq 1; time = t.clock (); session; source }
+  in
+  Mutex.lock t.mutex;
+  t.incidents_rev <- incident :: t.incidents_rev;
+  Mutex.unlock t.mutex
+
+let record_verdict t ~session ~window_index verdict =
+  match verdict.Detector.flag with
+  | Detector.Data_leak | Detector.Out_of_context ->
+      record t ~session (Verdict { window_index; verdict });
+      true
+  | Detector.Normal | Detector.Anomalous -> false
+
+let record_finding t ~session finding = record t ~session (Finding finding)
+
+let incidents t =
+  Mutex.lock t.mutex;
+  let l = t.incidents_rev in
+  Mutex.unlock t.mutex;
+  List.sort (fun (a : incident) (b : incident) -> compare a.seq b.seq) l
+
+let count t =
+  Mutex.lock t.mutex;
+  let n = List.length t.incidents_rev in
+  Mutex.unlock t.mutex;
+  n
+
+let source_to_string = function
+  | Verdict { window_index; verdict } ->
+      Printf.sprintf "%s window=%d score=%s%s"
+        (Detector.flag_to_string verdict.Detector.flag)
+        window_index
+        (if Float.is_finite verdict.Detector.score then
+           Printf.sprintf "%.3f" verdict.Detector.score
+         else "-inf")
+        (match verdict.Detector.unknown_pair with
+        | Some (caller, sym) ->
+            Printf.sprintf " (out of context: %s from %s)"
+              (Analysis.Symbol.to_string sym) caller
+        | None -> "")
+  | Finding f -> Audit.finding_to_string f
+
+let incident_to_string (i : incident) =
+  Printf.sprintf "#%-4d t=%.6f session=%d %s" i.seq i.time i.session
+    (source_to_string i.source)
+
+let to_string t =
+  String.concat "\n" (List.map incident_to_string (incidents t))

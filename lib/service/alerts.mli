@@ -1,0 +1,35 @@
+(** Unified incident log: the security administrator's single queue.
+
+    Two alarm channels land here in one timestamp-ordered stream — the
+    Detection Engine's actionable verdicts ([Data_leak] and
+    [Out_of_context] flags) and the run-level {!Adprom.Audit} findings
+    (unknown query signatures, tainted-file shell commands). Recording
+    is safe from multiple domains; ordering is by a global atomic
+    sequence number assigned at record time. *)
+
+type source =
+  | Verdict of { window_index : int; verdict : Adprom.Detector.verdict }
+  | Finding of Adprom.Audit.finding
+
+type incident = { seq : int; time : float; session : int; source : source }
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to [Unix.gettimeofday] (injectable for tests). *)
+
+val record_verdict :
+  t -> session:int -> window_index:int -> Adprom.Detector.verdict -> bool
+(** Record the verdict if its flag is [Data_leak] or [Out_of_context];
+    returns whether an incident was logged ([Normal]/[Anomalous] are
+    the detector's business, not the administrator's queue). *)
+
+val record_finding : t -> session:int -> Adprom.Audit.finding -> unit
+
+val incidents : t -> incident list
+(** All incidents, timestamp-ordered (ascending [seq]). *)
+
+val count : t -> int
+
+val incident_to_string : incident -> string
+val to_string : t -> string

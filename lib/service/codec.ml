@@ -1,0 +1,68 @@
+module Trace_io = Runtime.Trace_io
+
+type event = Adprom.Sessions.tagged = {
+  session : int;
+  event : Runtime.Collector.event;
+}
+
+let encode_event { session; event = e } =
+  Printf.sprintf "%d\t%s\t%d\t%s" session e.Runtime.Collector.caller
+    e.Runtime.Collector.block
+    (Trace_io.encode_symbol e.Runtime.Collector.symbol)
+
+let encode stream =
+  let buf = Buffer.create (Array.length stream * 40) in
+  Array.iter
+    (fun ev ->
+      Buffer.add_string buf (encode_event ev);
+      Buffer.add_char buf '\n')
+    stream;
+  Buffer.contents buf
+
+let parse_line line =
+  match String.index_opt line '\t' with
+  | None -> Error "expected 4 tab-separated fields (session, caller, block, symbol)"
+  | Some cut -> (
+      let sid = String.sub line 0 cut in
+      let rest = String.sub line (cut + 1) (String.length line - cut - 1) in
+      match int_of_string_opt sid with
+      | None -> Error (Printf.sprintf "bad session id %S" sid)
+      | Some session when session < 0 ->
+          Error (Printf.sprintf "negative session id %d" session)
+      | Some session -> (
+          match Trace_io.parse_event rest with
+          | Ok event -> Ok { session; event }
+          | Error e -> Error e))
+
+let chomp line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let decode text =
+  let rec go acc lineno = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest -> (
+        let line = chomp line in
+        match String.trim line with
+        | "" -> go acc (lineno + 1) rest
+        | t when t.[0] = '#' -> go acc (lineno + 1) rest
+        | _ -> (
+            match parse_line line with
+            | Ok ev -> go (ev :: acc) (lineno + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
+  in
+  go [] 1 (String.split_on_char '\n' text)
+
+let save stream path =
+  let oc = open_out_bin path in
+  output_string oc (encode stream);
+  close_out oc
+
+let load path =
+  match open_in_bin path with
+  | ic ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      decode text
+  | exception Sys_error msg -> Error msg

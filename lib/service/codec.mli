@@ -1,0 +1,28 @@
+(** Wire format of the monitoring daemon: one tagged call event per
+    line, [session<TAB>caller<TAB>block<TAB>symbol], with the symbol in
+    the {!Runtime.Trace_io} encoding. This is what a deployed Calls
+    Collector ships over the wire — the per-process trace format plus a
+    session id (the PID Dyninst reports).
+
+    Decoding is total: malformed input yields [Error "line N: ..."]
+    (1-based line numbers), never an exception. Blank lines, CRLF
+    endings and [#] comment lines are tolerated. *)
+
+type event = Adprom.Sessions.tagged = {
+  session : int;
+  event : Runtime.Collector.event;
+}
+
+val encode_event : event -> string
+(** One line, without the trailing newline. *)
+
+val parse_line : string -> (event, string) result
+(** Parse one wire line (no line-number context; {!decode} adds it). *)
+
+val encode : event array -> string
+
+val decode : string -> (event array, string) result
+
+val save : event array -> string -> unit
+
+val load : string -> (event array, string) result

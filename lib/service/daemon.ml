@@ -1,0 +1,280 @@
+module Detector = Adprom.Detector
+module Profile = Adprom.Profile
+
+type message =
+  | Event of Codec.event
+  | Shed of int  (* discard this session's scorer; ignore later events *)
+
+type shard = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : message Queue.t;
+  mutable closed : bool;
+  depth : Metrics.gauge;
+}
+
+type session_report = {
+  session : int;
+  events : int;
+  windows : int;
+  worst : Detector.flag;
+  verdicts : Detector.verdict list;
+}
+
+type shard_result = {
+  reports : session_report list;
+  discarded : (int * int) list;  (* shed sessions: accepted events thrown away *)
+}
+
+type summary = {
+  sessions : session_report list;
+  shed : (int * int * int) list;
+      (* session, events dropped at the door, accepted events discarded *)
+  events_offered : int;
+  events_ingested : int;
+  events_dropped : int;
+}
+
+type admission = Accepted | Rejected of { newly_shed : bool }
+
+type t = {
+  profile : Profile.t;
+  capacity : int;
+  keep_verdicts : bool;
+  shards : shard array;
+  workers : shard_result Domain.t array;
+  metrics : Metrics.t;
+  alerts : Alerts.t;
+  (* ingestion front-end state: one acceptor thread *)
+  shed_at_door : (int, int ref) Hashtbl.t;  (* session -> events dropped *)
+  mutable offered : int;
+  mutable ingested : int;
+  mutable dropped : int;
+  mutable draining : bool;
+  c_offered : Metrics.counter;
+  c_ingested : Metrics.counter;
+  c_dropped : Metrics.counter;
+  c_shed_sessions : Metrics.counter;
+}
+
+let flag_severity = function
+  | Detector.Normal -> 0
+  | Detector.Anomalous -> 1
+  | Detector.Out_of_context -> 2
+  | Detector.Data_leak -> 3
+
+let flag_counter_names =
+  [|
+    "adprom_verdicts_normal_total";
+    "adprom_verdicts_anomalous_total";
+    "adprom_verdicts_out_of_context_total";
+    "adprom_verdicts_data_leak_total";
+  |]
+
+let shard_of t session = Hashtbl.hash session mod Array.length t.shards
+
+let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
+  let scorers : (int, Scorer.t) Hashtbl.t = Hashtbl.create 64 in
+  let shed_here : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let discarded = ref [] in
+  let c_windows = Metrics.counter metrics "adprom_windows_scored_total" in
+  let c_flags = Array.map (Metrics.counter metrics) flag_counter_names in
+  let h_latency = Metrics.histogram metrics "adprom_score_latency_seconds" in
+  let account session scorer verdict =
+    Metrics.incr c_windows;
+    Metrics.incr c_flags.(flag_severity verdict.Detector.flag);
+    ignore
+      (Alerts.record_verdict alerts ~session
+         ~window_index:(Scorer.windows_scored scorer - 1)
+         verdict)
+  in
+  let handle = function
+    | Event { Codec.session; event } ->
+        if not (Hashtbl.mem shed_here session) then begin
+          let scorer =
+            match Hashtbl.find_opt scorers session with
+            | Some s -> s
+            | None ->
+                let s = Scorer.create ~keep_verdicts profile in
+                Hashtbl.replace scorers session s;
+                s
+          in
+          let t0 = Unix.gettimeofday () in
+          (match Scorer.push scorer event with
+          | Some verdict -> account session scorer verdict
+          | None -> ());
+          Metrics.observe h_latency (Unix.gettimeofday () -. t0)
+        end
+    | Shed session ->
+        (match Hashtbl.find_opt scorers session with
+        | Some scorer ->
+            discarded := (session, Scorer.events_seen scorer) :: !discarded;
+            Hashtbl.remove scorers session
+        | None -> ());
+        Hashtbl.replace shed_here session ()
+  in
+  let rec loop () =
+    Mutex.lock shard.mutex;
+    while Queue.is_empty shard.queue && not shard.closed do
+      Condition.wait shard.nonempty shard.mutex
+    done;
+    let batch = Queue.create () in
+    Queue.transfer shard.queue batch;
+    let finished = shard.closed && Queue.is_empty batch in
+    Metrics.set_gauge shard.depth 0;
+    Mutex.unlock shard.mutex;
+    Queue.iter handle batch;
+    if finished then begin
+      let reports =
+        Hashtbl.fold
+          (fun session scorer acc ->
+            (match Scorer.flush scorer with
+            | Some verdict -> account session scorer verdict
+            | None -> ());
+            {
+              session;
+              events = Scorer.events_seen scorer;
+              windows = Scorer.windows_scored scorer;
+              worst = Scorer.worst scorer;
+              verdicts = Scorer.verdicts scorer;
+            }
+            :: acc)
+          scorers []
+      in
+      { reports; discarded = !discarded }
+    end
+    else loop ()
+  in
+  loop ()
+
+let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
+    ?metrics ?alerts profile =
+  if shards < 1 then invalid_arg "Daemon.create: need at least one shard";
+  if queue_capacity < 0 then invalid_arg "Daemon.create: negative queue capacity";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let alerts = match alerts with Some a -> a | None -> Alerts.create () in
+  (* register the shared series up front so the dump shows them even
+     before the first event arrives *)
+  ignore (Metrics.counter metrics "adprom_windows_scored_total");
+  Array.iter (fun n -> ignore (Metrics.counter metrics n)) flag_counter_names;
+  ignore (Metrics.histogram metrics "adprom_score_latency_seconds");
+  let shard_array =
+    Array.init shards (fun i ->
+        {
+          mutex = Mutex.create ();
+          nonempty = Condition.create ();
+          queue = Queue.create ();
+          closed = false;
+          depth = Metrics.gauge metrics (Printf.sprintf "adprom_queue_depth_shard%d" i);
+        })
+  in
+  let workers =
+    Array.map
+      (fun shard ->
+        Domain.spawn (fun () -> worker ~profile ~keep_verdicts ~metrics ~alerts shard))
+      shard_array
+  in
+  {
+    profile;
+    capacity = queue_capacity;
+    keep_verdicts;
+    shards = shard_array;
+    workers;
+    metrics;
+    alerts;
+    shed_at_door = Hashtbl.create 16;
+    offered = 0;
+    ingested = 0;
+    dropped = 0;
+    draining = false;
+    c_offered = Metrics.counter metrics "adprom_events_offered_total";
+    c_ingested = Metrics.counter metrics "adprom_events_ingested_total";
+    c_dropped = Metrics.counter metrics "adprom_events_dropped_total";
+    c_shed_sessions = Metrics.counter metrics "adprom_sessions_shed_total";
+  }
+
+let drop t ev =
+  t.dropped <- t.dropped + 1;
+  Metrics.incr t.c_dropped;
+  match Hashtbl.find_opt t.shed_at_door ev.Codec.session with
+  | Some n -> incr n
+  | None -> Hashtbl.replace t.shed_at_door ev.Codec.session (ref 1)
+
+let ingest t ev =
+  if t.draining then invalid_arg "Daemon.ingest: daemon already drained";
+  if ev.Codec.session < 0 then invalid_arg "Daemon.ingest: negative session id";
+  t.offered <- t.offered + 1;
+  Metrics.incr t.c_offered;
+  if Hashtbl.mem t.shed_at_door ev.Codec.session then begin
+    drop t ev;
+    Rejected { newly_shed = false }
+  end
+  else begin
+    let shard = t.shards.(shard_of t ev.Codec.session) in
+    Mutex.lock shard.mutex;
+    let depth = Queue.length shard.queue in
+    if depth >= t.capacity then begin
+      (* Overload: shed the whole session, never individual events —
+         dropping single events would fabricate call transitions that
+         no program run produced (see Core.Sessions). The control
+         message is exempt from the bound so the worker can discard the
+         session's partial state. *)
+      Queue.add (Shed ev.Codec.session) shard.queue;
+      Condition.signal shard.nonempty;
+      Mutex.unlock shard.mutex;
+      Metrics.incr t.c_shed_sessions;
+      drop t ev;
+      Rejected { newly_shed = true }
+    end
+    else begin
+      Queue.add (Event ev) shard.queue;
+      Metrics.set_gauge shard.depth (depth + 1);
+      Condition.signal shard.nonempty;
+      Mutex.unlock shard.mutex;
+      t.ingested <- t.ingested + 1;
+      Metrics.incr t.c_ingested;
+      Accepted
+    end
+  end
+
+let drain t =
+  if t.draining then invalid_arg "Daemon.drain: daemon already drained";
+  t.draining <- true;
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.mutex;
+      shard.closed <- true;
+      Condition.broadcast shard.nonempty;
+      Mutex.unlock shard.mutex)
+    t.shards;
+  let results = Array.map Domain.join t.workers in
+  let discarded =
+    Array.to_list results |> List.concat_map (fun r -> r.discarded)
+  in
+  let sessions =
+    Array.to_list results
+    |> List.concat_map (fun r -> r.reports)
+    |> List.filter (fun r -> not (Hashtbl.mem t.shed_at_door r.session))
+    |> List.sort (fun a b -> compare a.session b.session)
+  in
+  let shed =
+    Hashtbl.fold
+      (fun session dropped acc ->
+        let prefix =
+          match List.assoc_opt session discarded with Some n -> n | None -> 0
+        in
+        (session, !dropped, prefix) :: acc)
+      t.shed_at_door []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  {
+    sessions;
+    shed;
+    events_offered = t.offered;
+    events_ingested = t.ingested;
+    events_dropped = t.dropped;
+  }
+
+let metrics t = t.metrics
+let alerts t = t.alerts
+let shard_count t = Array.length t.shards

@@ -1,0 +1,69 @@
+(** The multi-tenant online monitoring daemon.
+
+    A single-threaded ingestion front-end routes tagged call events to
+    one of N shards (hash of the session id), each served by its own
+    OCaml 5 domain holding the per-session {!Scorer}s. Per-shard queues
+    are bounded; when a queue is full the daemon sheds the {e whole}
+    offending session — dropping individual events would fabricate call
+    transitions no program ever produced (the failure mode
+    {!Adprom.Sessions} documents) — and counts every dropped event.
+    Because a session always lands on the same shard, per-session event
+    order is preserved and verdicts are independent of how sessions
+    interleave: replaying a multiplexed stream yields exactly the
+    verdicts of batch [Detector.monitor] on the demultiplexed traces.
+
+    [Data_leak] / [Out_of_context] verdicts are forwarded to the
+    {!Alerts} sink; throughput, verdict counts, queue depths, drops and
+    scoring latency land in the {!Metrics} registry. *)
+
+type session_report = {
+  session : int;
+  events : int;
+  windows : int;
+  worst : Adprom.Detector.flag;
+  verdicts : Adprom.Detector.verdict list;
+      (** arrival order; empty under [keep_verdicts:false] *)
+}
+
+type summary = {
+  sessions : session_report list;  (** surviving sessions, ascending id *)
+  shed : (int * int * int) list;
+      (** per shed session: id, events dropped at the door, previously
+          accepted events discarded with the session's partial state *)
+  events_offered : int;
+  events_ingested : int;
+  events_dropped : int;  (** [offered = ingested + dropped] always *)
+}
+
+type admission = Accepted | Rejected of { newly_shed : bool }
+
+type t
+
+val create :
+  ?shards:int ->
+  ?queue_capacity:int ->
+  ?keep_verdicts:bool ->
+  ?metrics:Metrics.t ->
+  ?alerts:Alerts.t ->
+  Adprom.Profile.t ->
+  t
+(** Spawn the worker domains. Defaults: 4 shards, queue capacity 4096,
+    verdicts kept. The profile is shared read-only across domains.
+    [queue_capacity 0] sheds every session on arrival (useful for
+    testing the overload path). @raise Invalid_argument on [shards < 1]
+    or a negative capacity. *)
+
+val ingest : t -> Codec.event -> admission
+(** Route one event (not thread-safe: one acceptor thread). [Rejected]
+    is the explicit backpressure signal; [newly_shed] marks the
+    admission that tripped the overload policy.
+    @raise Invalid_argument after {!drain} or on a negative session id. *)
+
+val drain : t -> summary
+(** Close all queues, let the workers finish scoring, flush every
+    scorer (short sessions get their whole-trace verdict) and join the
+    domains. The daemon cannot be used afterwards. *)
+
+val metrics : t -> Metrics.t
+val alerts : t -> Alerts.t
+val shard_count : t -> int

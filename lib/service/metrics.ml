@@ -1,0 +1,154 @@
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : int Atomic.t; g_max : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_mutex : Mutex.t;
+  bounds : float array;  (* upper bounds, strictly increasing *)
+  buckets : int array;  (* length = length bounds + 1; last = +inf *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, reversed *)
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 32; order = [] }
+
+let register t name build unwrap =
+  Mutex.lock t.mutex;
+  let m =
+    match Hashtbl.find_opt t.table name with
+    | Some m -> m
+    | None ->
+        let m = build () in
+        Hashtbl.replace t.table name m;
+        t.order <- name :: t.order;
+        m
+  in
+  Mutex.unlock t.mutex;
+  match unwrap m with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Metrics: %S registered with another type" name)
+
+let counter t name =
+  register t name
+    (fun () -> Counter { c_name = name; c_value = Atomic.make 0 })
+    (function Counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by)
+let counter_value c = Atomic.get c.c_value
+
+let gauge t name =
+  register t name
+    (fun () -> Gauge { g_name = name; g_value = Atomic.make 0; g_max = Atomic.make 0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v =
+  Atomic.set g.g_value v;
+  (* keep the high-watermark monotone without a lock *)
+  let rec bump () =
+    let m = Atomic.get g.g_max in
+    if v > m && not (Atomic.compare_and_set g.g_max m v) then bump ()
+  in
+  bump ()
+
+let gauge_value g = Atomic.get g.g_value
+let gauge_max g = Atomic.get g.g_max
+
+let default_buckets =
+  [| 1e-6; 5e-6; 1e-5; 5e-5; 1e-4; 5e-4; 1e-3; 5e-3; 1e-2; 5e-2; 0.1; 0.5; 1.0 |]
+
+let histogram ?(buckets = default_buckets) t name =
+  register t name
+    (fun () ->
+      Histogram
+        {
+          h_name = name;
+          h_mutex = Mutex.create ();
+          bounds = buckets;
+          buckets = Array.make (Array.length buckets + 1) 0;
+          h_sum = 0.0;
+          h_count = 0;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  Mutex.lock h.h_mutex;
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1;
+  Mutex.unlock h.h_mutex
+
+let histogram_count h = h.h_count
+
+let quantile h q =
+  Mutex.lock h.h_mutex;
+  let total = h.h_count in
+  let result =
+    if total = 0 then nan
+    else begin
+      let target = int_of_float (ceil (q *. float_of_int total)) in
+      let target = max 1 (min total target) in
+      let acc = ref 0 and ans = ref infinity in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= target then begin
+               (ans := if i < Array.length h.bounds then h.bounds.(i) else infinity);
+               raise Exit
+             end)
+           h.buckets
+       with Exit -> ());
+      !ans
+    end
+  in
+  Mutex.unlock h.h_mutex;
+  result
+
+let dump t =
+  Mutex.lock t.mutex;
+  let names = List.rev t.order in
+  let metrics = List.filter_map (Hashtbl.find_opt t.table) names in
+  Mutex.unlock t.mutex;
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name (counter_value c))
+      | Gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n%s_max %d\n" g.g_name (gauge_value g) g.g_name
+               (gauge_max g))
+      | Histogram h ->
+          Mutex.lock h.h_mutex;
+          let count = h.h_count and sum = h.h_sum in
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cumulative := !cumulative + n;
+              let le =
+                if i < Array.length h.bounds then Printf.sprintf "%g" h.bounds.(i)
+                else "+inf"
+              in
+              if n > 0 || i = Array.length h.bounds then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name le !cumulative))
+            h.buckets;
+          Mutex.unlock h.h_mutex;
+          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" h.h_name sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name count))
+    metrics;
+  Buffer.contents buf

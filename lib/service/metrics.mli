@@ -1,0 +1,46 @@
+(** Daemon observability: a small thread-safe metrics registry
+    (counters, gauges with high-watermarks, latency histograms) with a
+    Prometheus-style text dump. Counters and gauges are lock-free
+    ([Atomic]); histograms take a per-histogram mutex. Registering the
+    same name twice returns the existing metric. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create. @raise Invalid_argument if [name] is already
+    registered as a different metric type (same for {!gauge} and
+    {!histogram}). *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+val gauge_max : gauge -> int
+(** High-watermark of all values ever set. *)
+
+val default_buckets : float array
+(** Latency buckets in seconds, 1µs .. 1s. *)
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit [+inf]
+    bucket is appended. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+
+val quantile : histogram -> float -> float
+(** Upper bound of the bucket containing the [q]-quantile observation
+    ([nan] when empty, [infinity] when it falls in the overflow
+    bucket). *)
+
+val dump : t -> string
+(** All metrics in registration order, one [name value] line each;
+    histograms dump cumulative buckets, sum and count. *)

@@ -1,0 +1,82 @@
+module Detector = Adprom.Detector
+module Sessions = Adprom.Sessions
+
+type outcome = {
+  summary : Daemon.summary;
+  seconds : float;
+  metrics : Metrics.t;
+  alerts : Alerts.t;
+}
+
+let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts profile stream =
+  let daemon =
+    Daemon.create ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts profile
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun ev -> ignore (Daemon.ingest daemon ev)) stream;
+  let summary = Daemon.drain daemon in
+  let seconds = Unix.gettimeofday () -. t0 in
+  { summary; seconds; metrics = Daemon.metrics daemon; alerts = Daemon.alerts daemon }
+
+let of_text ?shards ?queue_capacity ?keep_verdicts profile text =
+  match Codec.decode text with
+  | Error e -> Error e
+  | Ok stream -> Ok (run ?shards ?queue_capacity ?keep_verdicts profile stream)
+
+let throughput o =
+  if o.seconds > 0.0 then
+    float_of_int o.summary.Daemon.events_ingested /. o.seconds
+  else 0.0
+
+type mismatch = {
+  session : int;
+  window_index : int;
+  batch : Detector.flag option;  (* None: window missing on that side *)
+  live : Detector.flag option;
+}
+
+let verify_against_batch profile stream summary =
+  let batch_by_session = Sessions.demux stream in
+  let mismatches = ref [] in
+  List.iter
+    (fun (r : Daemon.session_report) ->
+      let batch_flags =
+        match List.assoc_opt r.Daemon.session batch_by_session with
+        | Some trace ->
+            List.map (fun (_, v) -> v.Detector.flag) (Detector.monitor profile trace)
+        | None -> []
+      in
+      let live_flags = List.map (fun v -> v.Detector.flag) r.Daemon.verdicts in
+      let rec cmp i b l =
+        match (b, l) with
+        | [], [] -> ()
+        | bf :: b', lf :: l' ->
+            if bf <> lf then
+              mismatches :=
+                {
+                  session = r.Daemon.session;
+                  window_index = i;
+                  batch = Some bf;
+                  live = Some lf;
+                }
+                :: !mismatches;
+            cmp (i + 1) b' l'
+        | bf :: b', [] ->
+            mismatches :=
+              { session = r.Daemon.session; window_index = i; batch = Some bf; live = None }
+              :: !mismatches;
+            cmp (i + 1) b' []
+        | [], lf :: l' ->
+            mismatches :=
+              { session = r.Daemon.session; window_index = i; batch = None; live = Some lf }
+              :: !mismatches;
+            cmp (i + 1) [] l'
+      in
+      cmp 0 batch_flags live_flags)
+    summary.Daemon.sessions;
+  List.rev !mismatches
+
+let mismatch_to_string m =
+  let f = function Some fl -> Detector.flag_to_string fl | None -> "(missing)" in
+  Printf.sprintf "session %d window %d: batch=%s live=%s" m.session m.window_index
+    (f m.batch) (f m.live)

@@ -1,0 +1,50 @@
+(** End-to-end stream replay: feed a multi-tenant tagged event stream
+    (the {!Codec} wire format, or a {!Adprom.Sessions.interleave}d host
+    stream — same type) through a fresh {!Daemon} and collect the
+    summary, timing, metrics and incidents. Also the referee for the
+    daemon's correctness claim: surviving sessions must score exactly
+    like batch [Detector.monitor] on the demultiplexed traces. *)
+
+type outcome = {
+  summary : Daemon.summary;
+  seconds : float;  (** ingest + drain wall time *)
+  metrics : Metrics.t;
+  alerts : Alerts.t;
+}
+
+val run :
+  ?shards:int ->
+  ?queue_capacity:int ->
+  ?keep_verdicts:bool ->
+  ?metrics:Metrics.t ->
+  ?alerts:Alerts.t ->
+  Adprom.Profile.t ->
+  Codec.event array ->
+  outcome
+
+val of_text :
+  ?shards:int ->
+  ?queue_capacity:int ->
+  ?keep_verdicts:bool ->
+  Adprom.Profile.t ->
+  string ->
+  (outcome, string) result
+(** Decode the wire text first; [Error "line N: ..."] on a bad line. *)
+
+val throughput : outcome -> float
+(** Ingested events per second. *)
+
+type mismatch = {
+  session : int;
+  window_index : int;
+  batch : Adprom.Detector.flag option;
+  live : Adprom.Detector.flag option;
+}
+
+val verify_against_batch :
+  Adprom.Profile.t -> Codec.event array -> Daemon.summary -> mismatch list
+(** Compare each surviving session's live verdict flags against the
+    batch detection loop on the demuxed stream; [[]] means the daemon
+    reproduced batch detection exactly. Requires [keep_verdicts]. *)
+
+val mismatch_to_string : mismatch -> string

@@ -1,0 +1,97 @@
+module Symbol = Analysis.Symbol
+module Detector = Adprom.Detector
+module Profile = Adprom.Profile
+module Window = Adprom.Window
+
+type t = {
+  profile : Profile.t;
+  window : int;
+  buf : Runtime.Collector.event option array;  (* ring, capacity [window] *)
+  mutable pushed : int;  (* total events seen *)
+  mutable flushed : bool;
+  keep_verdicts : bool;
+  mutable verdicts_rev : Detector.verdict list;
+  mutable windows_scored : int;
+  mutable worst : Detector.flag;
+  mutable flag_counts : int array;  (* indexed by Detector severity *)
+}
+
+let severity = function
+  | Detector.Normal -> 0
+  | Detector.Anomalous -> 1
+  | Detector.Out_of_context -> 2
+  | Detector.Data_leak -> 3
+
+let create ?window ?(keep_verdicts = true) profile =
+  let window =
+    match window with
+    | Some w -> w
+    | None -> profile.Profile.params.Profile.window
+  in
+  if window <= 0 then invalid_arg "Scorer.create: window must be positive";
+  {
+    profile;
+    window;
+    buf = Array.make window None;
+    pushed = 0;
+    flushed = false;
+    keep_verdicts;
+    verdicts_rev = [];
+    windows_scored = 0;
+    worst = Detector.Normal;
+    flag_counts = Array.make 4 0;
+  }
+
+(* Materialize the last [n] buffered events, oldest first, as a Window.t
+   (same symbol projection as Window.of_trace). *)
+let window_of_last t n =
+  let start = t.pushed - n in
+  let event i =
+    match t.buf.((start + i) mod t.window) with
+    | Some e -> e
+    | None -> assert false
+  in
+  {
+    Window.obs =
+      Array.init n (fun i -> Symbol.observable (event i).Runtime.Collector.symbol);
+    callers = Array.init n (fun i -> (event i).Runtime.Collector.caller);
+  }
+
+let account t verdict =
+  t.windows_scored <- t.windows_scored + 1;
+  let s = severity verdict.Detector.flag in
+  t.flag_counts.(s) <- t.flag_counts.(s) + 1;
+  if s > severity t.worst then t.worst <- verdict.Detector.flag;
+  if t.keep_verdicts then t.verdicts_rev <- verdict :: t.verdicts_rev
+
+let push t event =
+  if t.flushed then invalid_arg "Scorer.push: scorer already flushed";
+  t.buf.(t.pushed mod t.window) <- Some event;
+  t.pushed <- t.pushed + 1;
+  if t.pushed >= t.window then begin
+    let verdict = Detector.classify t.profile (window_of_last t t.window) in
+    account t verdict;
+    Some verdict
+  end
+  else None
+
+let flush t =
+  if t.flushed then None
+  else begin
+    t.flushed <- true;
+    (* A session shorter than the window yields one whole-trace window,
+       exactly like Window.of_trace on a short trace. *)
+    if t.pushed > 0 && t.pushed < t.window then begin
+      let verdict = Detector.classify t.profile (window_of_last t t.pushed) in
+      account t verdict;
+      Some verdict
+    end
+    else None
+  end
+
+let events_seen t = t.pushed
+let windows_scored t = t.windows_scored
+let worst t = t.worst
+let verdicts t = List.rev t.verdicts_rev
+
+let flag_count t flag = t.flag_counts.(severity flag)

@@ -1,0 +1,32 @@
+(** Per-session incremental scoring: a ring buffer of the last [window]
+    events, classified on every arrival once full. Feeding a whole trace
+    event-by-event and then calling {!flush} produces exactly the
+    verdicts of the batch loop [Detector.monitor profile trace] — each
+    event is scored once as it arrives instead of re-windowing the whole
+    trace. *)
+
+type t
+
+val create : ?window:int -> ?keep_verdicts:bool -> Adprom.Profile.t -> t
+(** [window] defaults to the profile's window length. With
+    [keep_verdicts:false] (for high-volume serving) only the counts and
+    the worst flag are retained, not the verdict list.
+    @raise Invalid_argument if [window <= 0]. *)
+
+val push : t -> Runtime.Collector.event -> Adprom.Detector.verdict option
+(** Ingest one event; [Some verdict] once at least [window] events have
+    been seen (the verdict of the window ending at this event).
+    @raise Invalid_argument after {!flush}. *)
+
+val flush : t -> Adprom.Detector.verdict option
+(** End of session. A non-empty session shorter than the window yields
+    its single whole-trace verdict here (matching [Window.of_trace]);
+    otherwise [None]. Idempotent. *)
+
+val events_seen : t -> int
+val windows_scored : t -> int
+val worst : t -> Adprom.Detector.flag
+val verdicts : t -> Adprom.Detector.verdict list
+(** Scored verdicts in arrival order (empty under [keep_verdicts:false]). *)
+
+val flag_count : t -> Adprom.Detector.flag -> int

@@ -1,0 +1,487 @@
+(* Tests for the online monitoring daemon (Adprom_service): wire codec
+   round-trips and error reporting, incremental scoring vs the batch
+   detection loop, shed accounting under overload, shard determinism,
+   the metrics registry and the unified incident log — plus QCheck
+   properties for Core.Sessions (demux inverts interleave; per-session
+   windowing equals per-trace windowing). *)
+
+module Codec = Adprom_service.Codec
+module Scorer = Adprom_service.Scorer
+module Metrics = Adprom_service.Metrics
+module Alerts = Adprom_service.Alerts
+module Daemon = Adprom_service.Daemon
+module Replay = Adprom_service.Replay
+module Detector = Adprom.Detector
+module Profile = Adprom.Profile
+module Pipeline = Adprom.Pipeline
+module Sessions = Adprom.Sessions
+module Window = Adprom.Window
+module Symbol = Analysis.Symbol
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if (not !found) && String.sub hay i nl = needle then found := true
+    done;
+    !found
+  end
+
+(* --- shared fixture: a small trained profile and its traces ---------------- *)
+
+let fixture =
+  lazy
+    (let app =
+       {
+         Pipeline.name = "svc";
+         source =
+           {|
+             fun main() {
+               let db = db_connect("pg");
+               let n = atoi(gets());
+               for (let i = 0; i < n; i = i + 1) {
+                 let r = pq_exec(db, "SELECT name FROM t");
+                 let k = pq_ntuples(r);
+                 for (let j = 0; j < k; j = j + 1) { printf("%s\n", pq_getvalue(r, j, 0)); }
+               }
+             }
+           |};
+         dbms = "PostgreSQL";
+         setup_db =
+           (fun e ->
+             ignore (Sqldb.Engine.exec e "CREATE TABLE t (name)");
+             ignore (Sqldb.Engine.exec e "INSERT INTO t VALUES ('a'), ('b')"));
+         test_cases =
+           List.init 8 (fun i ->
+               Runtime.Testcase.make
+                 ~input:[ string_of_int (1 + (i mod 4)) ]
+                 (Printf.sprintf "c%d" i));
+       }
+     in
+     let ds = Pipeline.collect app in
+     (ds, Pipeline.train ds))
+
+let traces () =
+  let ds, _ = Lazy.force fixture in
+  List.map snd ds.Pipeline.traces
+
+let profile () = snd (Lazy.force fixture)
+
+let interleaved seed =
+  let rng = Mlkit.Rng.create seed in
+  Sessions.interleave ~rng (traces ())
+
+(* --- codec ----------------------------------------------------------------- *)
+
+let mk_event ?(label = None) ?(site = None) ?(caller = "main") ?(block = 3) name =
+  {
+    Runtime.Collector.symbol = Symbol.Lib { name; label; site };
+    caller;
+    block;
+  }
+
+let test_codec_roundtrip () =
+  let stream =
+    [|
+      { Codec.session = 0; event = mk_event "read" };
+      { Codec.session = 7; event = mk_event ~label:(Some 4) ~site:(Some 9) "pq_getvalue" };
+      { Codec.session = 0; event = { Runtime.Collector.symbol = Symbol.Entry; caller = "f"; block = -1 } };
+      { Codec.session = 12; event = { Runtime.Collector.symbol = Symbol.Func "helper"; caller = "g"; block = 2 } };
+    |]
+  in
+  match Codec.decode (Codec.encode stream) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok stream' ->
+      Alcotest.(check int) "length" (Array.length stream) (Array.length stream');
+      Array.iteri
+        (fun i ev -> Alcotest.(check bool) "event equal" true (ev = stream'.(i)))
+        stream
+
+let test_codec_roundtrip_real_stream () =
+  let stream = interleaved 11 in
+  match Codec.decode (Codec.encode stream) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok stream' -> Alcotest.(check bool) "identical" true (stream = stream')
+
+let expect_error_line n text =
+  match Codec.decode text with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+  | Error e ->
+      let prefix = Printf.sprintf "line %d:" n in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S names line %d" e n)
+        true
+        (String.length e >= String.length prefix
+        && String.sub e 0 (String.length prefix) = prefix)
+
+let test_codec_errors () =
+  let good = Codec.encode_event { Codec.session = 1; event = mk_event "read" } in
+  (* bad session id *)
+  expect_error_line 1 "x\tmain\t3\tlib:read:-:-";
+  (* negative session id *)
+  expect_error_line 1 "-2\tmain\t3\tlib:read:-:-";
+  (* truncated fields *)
+  expect_error_line 2 (good ^ "\n1\tmain\t3");
+  (* bad block id *)
+  expect_error_line 3 (good ^ "\n" ^ good ^ "\n1\tmain\tx\tlib:read:-:-");
+  (* bad symbol *)
+  expect_error_line 1 "1\tmain\t3\tnonsense";
+  (* blank lines and comments are fine and keep line numbering honest *)
+  (match Codec.decode ("# header\n\n" ^ good ^ "\n\n") with
+  | Ok s -> Alcotest.(check int) "one event" 1 (Array.length s)
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  expect_error_line 4 ("# header\n\n" ^ good ^ "\nbroken")
+
+let test_trace_io_errors () =
+  let check_err needle text =
+    match Runtime.Trace_io.of_string text with
+    | Ok _ -> Alcotest.failf "expected failure on %S" text
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" e needle)
+          true
+          (contains ~needle e)
+  in
+  (* truncated fields *)
+  check_err "line 1" "main\t3";
+  (* bad block id *)
+  check_err "bad block id" "main\tnine\tlib:read:-:-";
+  check_err "line 2" "main\t3\tlib:read:-:-\nmain\tnine\tlib:read:-:-";
+  (* bad symbol *)
+  check_err "line 1" "main\t3\twhat";
+  (* trailing newlines / CRLF are tolerated *)
+  (match Runtime.Trace_io.of_string "main\t3\tlib:read:-:-\r\n\n\n" with
+  | Ok t -> Alcotest.(check int) "one event" 1 (Array.length t)
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  (* empty input is an empty trace, not an error *)
+  match Runtime.Trace_io.of_string "" with
+  | Ok t -> Alcotest.(check int) "empty" 0 (Array.length t)
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* --- scorer vs batch -------------------------------------------------------- *)
+
+let test_scorer_matches_batch () =
+  let profile = profile () in
+  List.iter
+    (fun trace ->
+      let batch = List.map snd (Detector.monitor profile trace) in
+      let scorer = Scorer.create profile in
+      let live = ref [] in
+      Array.iter
+        (fun e ->
+          match Scorer.push scorer e with
+          | Some v -> live := v :: !live
+          | None -> ())
+        trace;
+      (match Scorer.flush scorer with Some v -> live := v :: !live | None -> ());
+      let live = List.rev !live in
+      Alcotest.(check int) "window count" (List.length batch) (List.length live);
+      List.iter2
+        (fun (b : Detector.verdict) (l : Detector.verdict) ->
+          Alcotest.(check bool) "same flag" true (b.Detector.flag = l.Detector.flag);
+          Alcotest.(check bool) "same score" true
+            (b.Detector.score = l.Detector.score
+            || (Float.is_nan b.Detector.score && Float.is_nan l.Detector.score)))
+        batch live)
+    (traces ())
+
+let test_scorer_short_trace () =
+  let profile = profile () in
+  let trace = Array.init 4 (fun i -> mk_event (Printf.sprintf "s%d" i)) in
+  let scorer = Scorer.create profile in
+  Array.iter (fun e -> ignore (Scorer.push scorer e)) trace;
+  Alcotest.(check int) "no window before flush" 0 (Scorer.windows_scored scorer);
+  (match Scorer.flush scorer with
+  | Some _ -> ()
+  | None -> Alcotest.fail "short trace must yield its whole-trace window at flush");
+  Alcotest.(check int) "one window" 1 (Scorer.windows_scored scorer);
+  (* flush is idempotent *)
+  Alcotest.(check bool) "idempotent" true (Scorer.flush scorer = None)
+
+(* --- daemon ------------------------------------------------------------------ *)
+
+let test_daemon_matches_batch () =
+  let profile = profile () in
+  let stream = interleaved 23 in
+  let outcome = Replay.run ~shards:3 profile stream in
+  let summary = outcome.Replay.summary in
+  Alcotest.(check int) "nothing shed" 0 (List.length summary.Daemon.shed);
+  Alcotest.(check int) "all ingested"
+    (Array.length stream)
+    summary.Daemon.events_ingested;
+  Alcotest.(check int) "session count"
+    (List.length (traces ()))
+    (List.length summary.Daemon.sessions);
+  let mismatches = Replay.verify_against_batch profile stream summary in
+  if mismatches <> [] then
+    Alcotest.failf "daemon diverged from batch: %s"
+      (String.concat "; " (List.map Replay.mismatch_to_string mismatches))
+
+let test_daemon_shard_determinism () =
+  let profile = profile () in
+  let stream = interleaved 5 in
+  let flags outcome =
+    List.map
+      (fun (r : Daemon.session_report) ->
+        (r.Daemon.session, List.map (fun v -> v.Detector.flag) r.Daemon.verdicts))
+      outcome.Replay.summary.Daemon.sessions
+  in
+  let a = Replay.run ~shards:4 profile stream in
+  let b = Replay.run ~shards:4 profile stream in
+  let c = Replay.run ~shards:1 profile stream in
+  Alcotest.(check bool) "same shards, same verdicts" true (flags a = flags b);
+  Alcotest.(check bool) "shard count does not change verdicts" true (flags a = flags c)
+
+let test_daemon_sheds_whole_sessions () =
+  let profile = profile () in
+  let stream = interleaved 7 in
+  (* capacity 0: every admission overflows, so every session is shed on
+     its first event and every single event must be counted as dropped *)
+  let outcome = Replay.run ~shards:2 ~queue_capacity:0 profile stream in
+  let summary = outcome.Replay.summary in
+  Alcotest.(check int) "no survivors" 0 (List.length summary.Daemon.sessions);
+  Alcotest.(check int) "every session shed"
+    (List.length (traces ()))
+    (List.length summary.Daemon.shed);
+  Alcotest.(check int) "every event dropped"
+    (Array.length stream)
+    summary.Daemon.events_dropped;
+  Alcotest.(check int) "nothing ingested" 0 summary.Daemon.events_ingested;
+  let counted =
+    List.fold_left (fun acc (_, dropped, _) -> acc + dropped) 0 summary.Daemon.shed
+  in
+  Alcotest.(check int) "per-session drops add up" (Array.length stream) counted;
+  (* the drop counters agree with the summary *)
+  let m = Metrics.dump outcome.Replay.metrics in
+  Alcotest.(check bool) "dropped counter in dump" true
+    (contains
+       ~needle:(Printf.sprintf "adprom_events_dropped_total %d" (Array.length stream))
+       m)
+
+let test_daemon_conservation_under_pressure () =
+  let profile = profile () in
+  let stream = interleaved 13 in
+  (* tiny queues: whether a given session survives depends on worker
+     timing, but accounting must balance exactly either way *)
+  let outcome = Replay.run ~shards:2 ~queue_capacity:1 profile stream in
+  let summary = outcome.Replay.summary in
+  Alcotest.(check int) "offered = ingested + dropped"
+    summary.Daemon.events_offered
+    (summary.Daemon.events_ingested + summary.Daemon.events_dropped);
+  Alcotest.(check int) "offered = stream size"
+    (Array.length stream)
+    summary.Daemon.events_offered;
+  (* every event of a surviving session was scored or buffered; every
+     shed session's events are in its shed entry *)
+  let surviving =
+    List.fold_left (fun acc (r : Daemon.session_report) -> acc + r.Daemon.events) 0
+      summary.Daemon.sessions
+  in
+  let shed_events =
+    List.fold_left
+      (fun acc (_, dropped, discarded) -> acc + dropped + discarded)
+      0 summary.Daemon.shed
+  in
+  Alcotest.(check int) "no event unaccounted"
+    (Array.length stream)
+    (surviving + shed_events);
+  (* shed sessions never report verdicts *)
+  List.iter
+    (fun (s, _, _) ->
+      Alcotest.(check bool) "shed session absent from reports" true
+        (not
+           (List.exists
+              (fun (r : Daemon.session_report) -> r.Daemon.session = s)
+              summary.Daemon.sessions)))
+    summary.Daemon.shed
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests_total" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check bool) "get-or-create returns the same counter" true
+    (Metrics.counter_value (Metrics.counter m "requests_total") = 5);
+  let g = Metrics.gauge m "depth" in
+  Metrics.set_gauge g 7;
+  Metrics.set_gauge g 3;
+  Alcotest.(check int) "gauge holds last value" 3 (Metrics.gauge_value g);
+  Alcotest.(check int) "gauge high-watermark" 7 (Metrics.gauge_max g);
+  let h = Metrics.histogram ~buckets:[| 0.1; 1.0 |] m "lat" in
+  List.iter (Metrics.observe h) [ 0.05; 0.05; 0.5; 5.0 ];
+  Alcotest.(check int) "histogram count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "p50 bucket" 0.1 (Metrics.quantile h 0.5);
+  Alcotest.(check bool) "p99 overflows" true (Metrics.quantile h 0.99 = infinity);
+  let dump = Metrics.dump m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dump has %S" needle)
+        true
+        (contains ~needle dump))
+    [
+      "requests_total 5";
+      "depth 3";
+      "depth_max 7";
+      "lat_bucket{le=\"0.1\"} 2";
+      "lat_bucket{le=\"+inf\"} 4";
+      "lat_count 4";
+    ];
+  (* name collisions across types are programming errors *)
+  Alcotest.check_raises "type clash"
+    (Invalid_argument "Metrics: \"depth\" registered with another type") (fun () ->
+      ignore (Metrics.counter m "depth"))
+
+(* --- alerts ------------------------------------------------------------------ *)
+
+let test_alert_sink () =
+  let now = ref 0.0 in
+  let sink = Alerts.create ~clock:(fun () -> !now) () in
+  let verdict flag =
+    { Detector.flag; score = -1.0; unknown_symbol = false; unknown_pair = None }
+  in
+  now := 1.0;
+  Alcotest.(check bool) "data leak recorded" true
+    (Alerts.record_verdict sink ~session:3 ~window_index:0 (verdict Detector.Data_leak));
+  now := 2.0;
+  Alcotest.(check bool) "normal not recorded" false
+    (Alerts.record_verdict sink ~session:1 ~window_index:4 (verdict Detector.Normal));
+  Alcotest.(check bool) "anomalous not recorded" false
+    (Alerts.record_verdict sink ~session:1 ~window_index:4 (verdict Detector.Anomalous));
+  Alerts.record_finding sink ~session:1
+    (Adprom.Audit.Tainted_file_command { path = "/tmp/x"; command = "curl" });
+  now := 3.0;
+  Alcotest.(check bool) "out of context recorded" true
+    (Alerts.record_verdict sink ~session:2 ~window_index:9
+       (verdict Detector.Out_of_context));
+  Alerts.record_finding sink ~session:2 (Adprom.Audit.Unknown_query_signature "sig");
+  let incidents = Alerts.incidents sink in
+  Alcotest.(check int) "four incidents" 4 (List.length incidents);
+  Alcotest.(check (list int)) "timestamp order"
+    [ 0; 1; 2; 3 ]
+    (List.map (fun (i : Alerts.incident) -> i.Alerts.seq) incidents);
+  Alcotest.(check (list int)) "sessions in record order"
+    [ 3; 1; 2; 2 ]
+    (List.map (fun (i : Alerts.incident) -> i.Alerts.session) incidents);
+  (* both channels appear in the printed log *)
+  let log = Alerts.to_string sink in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "log mentions %S" needle)
+        true
+        (contains ~needle log))
+    [ "data-leak"; "out-of-context"; "/tmp/x"; "sig" ]
+
+let test_daemon_feeds_alerts () =
+  let profile = profile () in
+  (* a stream of library calls the profile has never seen must raise
+     alarms and land in the incident log *)
+  let foreign =
+    Array.init 20 (fun i ->
+        { Codec.session = 0; event = mk_event ~caller:"intruder" (Printf.sprintf "evil%d" (i mod 3)) })
+  in
+  let outcome = Replay.run ~shards:1 profile foreign in
+  Alcotest.(check bool) "incidents recorded" true (Alerts.count outcome.Replay.alerts > 0);
+  let worst =
+    List.map
+      (fun (r : Daemon.session_report) -> r.Daemon.worst)
+      outcome.Replay.summary.Daemon.sessions
+  in
+  Alcotest.(check bool) "session flagged" true
+    (List.exists (fun f -> f = Detector.Out_of_context || f = Detector.Data_leak) worst)
+
+(* --- Core.Sessions properties ------------------------------------------------ *)
+
+let event_gen =
+  QCheck2.Gen.(
+    let symbol =
+      oneof
+        [
+          map (fun n -> Symbol.lib (Printf.sprintf "f%d" n)) (int_bound 5);
+          map
+            (fun n ->
+              Symbol.Lib { name = Printf.sprintf "q%d" n; label = Some n; site = None })
+            (int_bound 3);
+        ]
+    in
+    map2
+      (fun sym c ->
+        { Runtime.Collector.symbol = sym; caller = Printf.sprintf "c%d" c; block = c })
+      symbol (int_bound 4))
+
+let traces_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 5)
+      (map Array.of_list (list_size (int_range 0 20) event_gen)))
+
+let print_traces ts =
+  String.concat " | "
+    (List.map (fun t -> Printf.sprintf "%d events" (Array.length t)) ts)
+
+let prop_demux_inverts_interleave =
+  QCheck2.Test.make ~name:"demux (interleave traces) recovers every trace" ~count:200
+    ~print:print_traces traces_gen (fun traces ->
+      let rng = Mlkit.Rng.create 99 in
+      let host = Sessions.interleave ~rng traces in
+      let demuxed = Sessions.demux host in
+      (* demux drops empty traces (they contribute no events); surviving
+         sessions must come back verbatim under their original index *)
+      List.for_all
+        (fun (s, trace) -> trace = List.nth traces s)
+        demuxed
+      && List.length demuxed
+         = List.length (List.filter (fun t -> Array.length t > 0) traces)
+      && Array.length host = List.fold_left (fun a t -> a + Array.length t) 0 traces)
+
+let prop_windows_per_session =
+  QCheck2.Test.make ~name:"windows_per_session = per-trace windowing" ~count:200
+    ~print:print_traces traces_gen (fun traces ->
+      let rng = Mlkit.Rng.create 7 in
+      let host = Sessions.interleave ~rng traces in
+      let via_sessions = Sessions.windows_per_session ~window:4 host in
+      let direct =
+        List.concat_map
+          (fun (_, trace) -> Window.of_trace ~window:4 trace)
+          (Sessions.demux host)
+      in
+      via_sessions = direct)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round trip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "round trip (real stream)" `Quick test_codec_roundtrip_real_stream;
+          Alcotest.test_case "line-numbered errors" `Quick test_codec_errors;
+          Alcotest.test_case "trace_io hardening" `Quick test_trace_io_errors;
+        ] );
+      ( "scorer",
+        [
+          Alcotest.test_case "matches the batch loop" `Quick test_scorer_matches_batch;
+          Alcotest.test_case "short traces flush one window" `Quick test_scorer_short_trace;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "replay matches batch verdicts" `Quick test_daemon_matches_batch;
+          Alcotest.test_case "shard determinism" `Quick test_daemon_shard_determinism;
+          Alcotest.test_case "sheds whole sessions, counts drops" `Quick
+            test_daemon_sheds_whole_sessions;
+          Alcotest.test_case "conservation under pressure" `Quick
+            test_daemon_conservation_under_pressure;
+          Alcotest.test_case "alerts flow from verdicts" `Quick test_daemon_feeds_alerts;
+        ] );
+      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
+      ("alerts", [ Alcotest.test_case "unified incident log" `Quick test_alert_sink ]);
+      ( "sessions properties",
+        [
+          QCheck_alcotest.to_alcotest prop_demux_inverts_interleave;
+          QCheck_alcotest.to_alcotest prop_windows_per_session;
+        ] );
+    ]
