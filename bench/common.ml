@@ -2,6 +2,10 @@
    expensive, so experiments that need the same artifacts share them
    through lazies. *)
 
+let smoke = ref false
+(* --smoke: shrink the workloads so the suite fits in a CI smoke run;
+   shapes stay, absolute numbers shrink *)
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let result = f () in

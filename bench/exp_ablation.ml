@@ -59,8 +59,9 @@ let windows () =
           Attack.Synthetic.batch ~rng ~legitimate:profile.Adprom.Profile.alphabet
             ~kind:`S3 ~count:150 windows
         in
+        let engine = Adprom.Scoring.create profile in
         let flagged w =
-          (Adprom.Detector.classify profile w).Adprom.Detector.flag <> Adprom.Detector.Normal
+          (Adprom.Scoring.classify engine w).Adprom.Detector.flag <> Adprom.Detector.Normal
         in
         let c =
           List.fold_left

@@ -23,9 +23,10 @@ let run () =
         let traces =
           Attack.Scenario.run case.Dataset.Ca_attacks.scenario case.Dataset.Ca_attacks.app
         in
+        let engine = Adprom.Scoring.of_profile profile in
         let verdicts =
           List.concat_map
-            (fun (_, trace) -> List.map snd (Adprom.Detector.monitor profile trace))
+            (fun (_, trace) -> List.map snd (Adprom.Scoring.monitor engine trace))
             traces
         in
         let worst = Adprom.Detector.worst verdicts in

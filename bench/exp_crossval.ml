@@ -35,8 +35,11 @@ let run () =
              Attack.Synthetic.batch ~rng ~legitimate:profile.Adprom.Profile.alphabet
                ~kind:`S1 ~count:40 valid_windows
            in
+           (* each fold trains its own profile, so compile it explicitly
+              rather than growing the domain-local engine cache *)
+           let engine = Adprom.Scoring.create profile in
            let flagged w =
-             (Adprom.Detector.classify profile w).Adprom.Detector.flag
+             (Adprom.Scoring.classify engine w).Adprom.Detector.flag
              <> Adprom.Detector.Normal
            in
            let c =

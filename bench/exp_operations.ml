@@ -24,6 +24,7 @@ let sessions () =
     in
     chunk [] [] 0 traces
   in
+  let engine = Adprom.Scoring.of_profile profile in
   let evaluate windows_of =
     let alarms = ref 0 and total = ref 0 in
     List.iter
@@ -32,7 +33,7 @@ let sessions () =
         List.iter
           (fun w ->
             incr total;
-            if (Adprom.Detector.classify profile w).Adprom.Detector.flag <> Adprom.Detector.Normal
+            if (Adprom.Scoring.classify engine w).Adprom.Detector.flag <> Adprom.Detector.Normal
             then incr alarms)
           (windows_of host))
       groups;
@@ -84,9 +85,10 @@ let drift () =
   let new_windows = windows_of rest in
   let profile = Adprom.Profile.train ~analysis train_windows in
   let fp p ws =
+    let engine = Adprom.Scoring.create p in
     List.length
       (List.filter
-         (fun w -> (Adprom.Detector.classify p w).Adprom.Detector.flag <> Adprom.Detector.Normal)
+         (fun w -> (Adprom.Scoring.classify engine w).Adprom.Detector.flag <> Adprom.Detector.Normal)
          ws)
   in
   let before = fp profile new_windows in

@@ -14,8 +14,10 @@
 
 module Service = Adprom_service
 
-let sessions_count = 64
-let repeats = 4 (* lengthen each session: trace concatenated with itself *)
+let sessions_count () = if !Common.smoke then 16 else 64
+let repeats () = if !Common.smoke then 2 else 4
+(* repeats: lengthen each session — trace concatenated with itself *)
+
 let capacity = 8192 (* per-shard queue bound, identical in all configs *)
 
 let workload () =
@@ -23,18 +25,146 @@ let workload () =
   let traces = List.map snd t.Common.dataset.Adprom.Pipeline.traces in
   let base = Array.of_list traces in
   let sessions =
-    List.init sessions_count (fun i ->
+    List.init (sessions_count ()) (fun i ->
         let t = base.(i mod Array.length base) in
-        Array.concat (List.init repeats (fun _ -> t)))
+        Array.concat (List.init (repeats ()) (fun _ -> t)))
   in
   let rng = Mlkit.Rng.create 4242 in
   (Lazy.force t.Common.adprom, Adprom.Sessions.interleave ~rng sessions)
 
+(* --- compiled engine vs the pre-refactor scoring path ------------------
+
+   Both passes walk the same multiplexed stream sequentially (one
+   domain), one incremental scorer per session. The reference pass is
+   the code the service shipped before the compiled engine: an event
+   ring, a Window.t materialized on every arrival, and the uncompiled
+   forward pass over the profile. The engine pass is Scoring.Stream over
+   one shared compiled engine. Identical verdicts are asserted, then
+   the rates and the memo hit rate land in BENCH_scoring.json. *)
+
+let reference_pass profile stream =
+  let window = profile.Adprom.Profile.params.Adprom.Profile.window in
+  let scorers : (int, Runtime.Collector.event option array * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let out = ref [] in
+  let window_of_last buf pushed =
+    let start = pushed - window in
+    let event i =
+      match buf.((start + i) mod window) with Some e -> e | None -> assert false
+    in
+    {
+      Adprom.Window.obs =
+        Array.init window (fun i ->
+            Analysis.Symbol.observable (event i).Runtime.Collector.symbol);
+      callers = Array.init window (fun i -> (event i).Runtime.Collector.caller);
+    }
+  in
+  Array.iter
+    (fun { Service.Codec.session; event } ->
+      let buf, pushed =
+        match Hashtbl.find_opt scorers session with
+        | Some s -> s
+        | None ->
+            let s = (Array.make window None, ref 0) in
+            Hashtbl.replace scorers session s;
+            s
+      in
+      buf.(!pushed mod window) <- Some event;
+      incr pushed;
+      if !pushed >= window then
+        out :=
+          Adprom.Detector.reference_classify profile (window_of_last buf !pushed)
+          :: !out)
+    stream;
+  List.rev !out
+
+let engine_pass engine stream =
+  let scorers : (int, Adprom.Scoring.Stream.t) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  Array.iter
+    (fun { Service.Codec.session; event } ->
+      let st =
+        match Hashtbl.find_opt scorers session with
+        | Some s -> s
+        | None ->
+            let s = Adprom.Scoring.Stream.create engine in
+            Hashtbl.replace scorers session s;
+            s
+      in
+      match Adprom.Scoring.Stream.push st event with
+      | Ok (Some v) -> out := v :: !out
+      | Ok None -> ()
+      | Error e -> failwith e)
+    stream;
+  List.rev !out
+
+let same_verdicts a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Adprom.Detector.verdict) (y : Adprom.Detector.verdict) ->
+         x.Adprom.Detector.flag = y.Adprom.Detector.flag
+         && (x.Adprom.Detector.score = y.Adprom.Detector.score
+            || (Float.is_nan x.Adprom.Detector.score
+               && Float.is_nan y.Adprom.Detector.score))
+         && x.Adprom.Detector.unknown_symbol = y.Adprom.Detector.unknown_symbol
+         && x.Adprom.Detector.unknown_pair = y.Adprom.Detector.unknown_pair)
+       a b
+
+let scoring_showdown profile stream =
+  Common.heading
+    "Scoring engine: compiled forward pass + verdict memo vs the reference path (1 domain)";
+  let before_verdicts, before_s = Common.time (fun () -> reference_pass profile stream) in
+  let engine = Adprom.Scoring.create profile in
+  let after_verdicts, after_s = Common.time (fun () -> engine_pass engine stream) in
+  if not (same_verdicts before_verdicts after_verdicts) then
+    failwith "scoring engine diverged from the reference path";
+  let events = Array.length stream in
+  let rate s = float_of_int events /. s in
+  let hits = Adprom.Scoring.cache_hits engine in
+  let misses = Adprom.Scoring.cache_misses engine in
+  let hit_rate =
+    if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let speedup = rate after_s /. rate before_s in
+  Adprom.Report.print
+    ~header:[ "path"; "events/sec"; "speedup"; "memo hit rate" ]
+    [
+      [ "reference (pre-engine)"; Printf.sprintf "%.0f" (rate before_s); "1.00x"; "-" ];
+      [
+        "compiled engine";
+        Printf.sprintf "%.0f" (rate after_s);
+        Printf.sprintf "%.2fx" speedup;
+        Adprom.Report.percent_cell hit_rate;
+      ];
+    ];
+  Printf.printf
+    "verdicts identical on all %d windows (flag, score, unknown symbol/pair)\n"
+    (List.length after_verdicts);
+  let oc = open_out "BENCH_scoring.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"smoke\": %b,\n\
+    \  \"events\": %d,\n\
+    \  \"windows\": %d,\n\
+    \  \"events_per_sec_before\": %.1f,\n\
+    \  \"events_per_sec_after\": %.1f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"cache_hit_rate\": %.4f,\n\
+    \  \"verdicts_equivalent\": true\n\
+     }\n"
+    !Common.smoke events
+    (List.length after_verdicts)
+    (rate before_s) (rate after_s) speedup hit_rate;
+  close_out oc;
+  Printf.printf "wrote BENCH_scoring.json\n"
+
 let run () =
-  Common.heading "Online daemon: 1 vs 2 vs 4 worker domains, fixed per-shard queues";
   let profile, stream = workload () in
+  scoring_showdown profile stream;
+  Common.heading "Online daemon: 1 vs 2 vs 4 worker domains, fixed per-shard queues";
   Printf.printf "%d sessions, %d events, queue capacity %d/shard, %d HMM states\n%!"
-    sessions_count (Array.length stream) capacity
+    (sessions_count ()) (Array.length stream) capacity
     profile.Adprom.Profile.clustering.Adprom.Reduction.states;
   let monitored summary =
     List.fold_left
@@ -75,7 +205,7 @@ let run () =
            Printf.sprintf "%.2fx" (rate r /. base_rate);
            Printf.sprintf "%d / %d"
              (List.length summary.Service.Daemon.sessions)
-             sessions_count;
+             (sessions_count ());
            string_of_int (List.length summary.Service.Daemon.shed);
            string_of_int summary.Service.Daemon.events_dropped;
            Printf.sprintf "%.3f" outcome.Service.Replay.seconds;

@@ -13,9 +13,11 @@ let trained_for (app : Adprom.Pipeline.app) =
   | None -> Common.prepare app
 
 let verdicts profile traces =
+  (* one compiled engine per profile: windows repeated across the attack
+     runs hit the verdict memo instead of re-running the forward pass *)
+  let engine = Adprom.Scoring.of_profile profile in
   List.concat_map
-    (fun (_, trace) ->
-      List.map snd (Adprom.Detector.monitor profile trace))
+    (fun (_, trace) -> List.map snd (Adprom.Scoring.monitor engine trace))
     traces
 
 let run () =

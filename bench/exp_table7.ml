@@ -20,8 +20,9 @@ let run () =
             ~count:anomalies_per_kind pool
         in
         let anomalous = synth `S2 @ synth `S3 in
+        let engine = Adprom.Scoring.of_profile profile in
         let flagged w =
-          (Adprom.Detector.classify profile w).Adprom.Detector.flag <> Adprom.Detector.Normal
+          (Adprom.Scoring.classify engine w).Adprom.Detector.flag <> Adprom.Detector.Normal
         in
         let confusion =
           List.fold_left

@@ -30,15 +30,16 @@ let experiments =
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [all | %s]\n"
+  Printf.printf "usage: main.exe [--smoke] [all | %s]\n"
     (String.concat " | " (List.map fst experiments))
 
 let () =
+  let raw = match Array.to_list Sys.argv with _ :: args -> args | [] -> [] in
+  Common.smoke := List.mem "--smoke" raw;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: [] | _ :: [ "all" ] -> List.map fst experiments
-    | _ :: args -> args
-    | [] -> []
+    match List.filter (fun a -> a <> "--smoke") raw with
+    | [] | [ "all" ] -> List.map fst experiments
+    | args -> args
   in
   let unknown = List.filter (fun a -> not (List.mem_assoc a experiments)) requested in
   if unknown <> [] then begin

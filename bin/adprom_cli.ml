@@ -133,7 +133,8 @@ let demo_cmd_run app_name =
       let dataset = Adprom.Pipeline.collect app in
       Printf.printf "Training the profile (%d sequences) ...\n%!"
         (List.length dataset.Adprom.Pipeline.windows);
-      let profile = Adprom.Pipeline.train dataset in
+      let engine = Adprom.Pipeline.train_engine dataset in
+      let profile = Adprom.Scoring.profile engine in
       Printf.printf "Profile ready: %d states, threshold %.3f\n"
         profile.Adprom.Profile.clustering.Adprom.Reduction.states
         profile.Adprom.Profile.threshold;
@@ -151,7 +152,7 @@ let demo_cmd_run app_name =
             let traces = Attack.Scenario.run c.Dataset.Ca_attacks.scenario app in
             let verdicts =
               List.concat_map
-                (fun (_, t) -> List.map snd (Adprom.Detector.monitor profile t))
+                (fun (_, t) -> List.map snd (Adprom.Scoring.monitor engine t))
                 traces
             in
             Printf.printf "%s -> %s\n" c.Dataset.Ca_attacks.label
@@ -213,7 +214,8 @@ let check_cmd_run profile_path file inputs =
       (match outcome.Runtime.Interp.status with
       | Ok () -> ()
       | Error msg -> Printf.eprintf "runtime error: %s\n" msg);
-      let verdicts = Adprom.Detector.monitor profile trace in
+      let scoring = Adprom.Scoring.create profile in
+      let verdicts = Adprom.Scoring.monitor scoring trace in
       let worst = Adprom.Detector.worst (List.map snd verdicts) in
       List.iter
         (fun ((w : Adprom.Window.t), (v : Adprom.Detector.verdict)) ->

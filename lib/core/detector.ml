@@ -1,12 +1,12 @@
 module Symbol = Analysis.Symbol
 
-type flag =
+type flag = Scoring.flag =
   | Normal
   | Anomalous
   | Data_leak
   | Out_of_context
 
-type verdict = {
+type verdict = Scoring.verdict = {
   flag : flag;
   score : float;
   unknown_symbol : bool;
@@ -25,7 +25,11 @@ let severity = function
   | Out_of_context -> 2
   | Data_leak -> 3
 
-let classify profile window =
+(* The specification path: score and flag a window directly against the
+   profile, with no interning, no scratch reuse and no memo. The
+   compiled engine is property-tested to agree with this bit for bit;
+   it also serves as the pre-compilation baseline in the benches. *)
+let reference_classify profile window =
   let w = Profile.prepare profile window in
   let score = Profile.score profile w in
   let unknown_symbol =
@@ -51,10 +55,9 @@ let classify profile window =
   in
   { flag; score; unknown_symbol; unknown_pair }
 
-let monitor profile trace =
-  List.map
-    (fun w -> (w, classify profile w))
-    (Window.of_trace ~window:profile.Profile.params.Profile.window trace)
+let classify profile window = Scoring.classify (Scoring.of_profile profile) window
+
+let monitor profile trace = Scoring.monitor (Scoring.of_profile profile) trace
 
 let worst verdicts =
   List.fold_left

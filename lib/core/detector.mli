@@ -8,15 +8,22 @@
       call — targeted data is involved;
     - [Out_of_context]: a known library call issued from a function that
       never issued it during training;
-    - [Anomalous]: everything else below threshold. *)
+    - [Anomalous]: everything else below threshold.
 
-type flag =
+    Since the scoring-engine redesign, [classify] and [monitor] are
+    thin wrappers over the compiled {!Scoring} engine (interned
+    symbols, allocation-free forward pass, memoized verdicts) obtained
+    via {!Scoring.of_profile}; their behaviour is unchanged.
+    {!reference_classify} keeps the original uncompiled path as the
+    executable specification. *)
+
+type flag = Scoring.flag =
   | Normal
   | Anomalous
   | Data_leak
   | Out_of_context
 
-type verdict = {
+type verdict = Scoring.verdict = {
   flag : flag;
   score : float;
   unknown_symbol : bool;  (** the window used a call never seen in training *)
@@ -27,6 +34,15 @@ type verdict = {
 val flag_to_string : flag -> string
 
 val classify : Profile.t -> Window.t -> verdict
+(** Equivalent to [Scoring.classify (Scoring.of_profile profile)]:
+    identical verdicts and bit-for-bit identical scores to
+    {!reference_classify}, amortized over the domain-local compiled
+    engine. *)
+
+val reference_classify : Profile.t -> Window.t -> verdict
+(** The original, uncompiled detection path — no interning, no memo.
+    The specification the engine is property-tested against, and the
+    pre-compilation baseline of the benches. *)
 
 val monitor : Profile.t -> Runtime.Collector.trace -> (Window.t * verdict) list
 (** Slide the profile's window over a run-time trace and classify each

@@ -3,9 +3,11 @@
     time to reduce the false positive rate when there are legitimate
     changes in the program behavior").
 
-    A monitor wraps a trained profile; the administrator feeds back
-    which alarms were false, and every [adjust_every] windows the
-    threshold moves toward the target false-positive rate. *)
+    A monitor wraps a trained profile — compiled once into a private
+    {!Scoring} engine — and the administrator feeds back which alarms
+    were false; every [adjust_every] windows the threshold moves toward
+    the target false-positive rate (each move flushes the engine's
+    verdict memo, so stale flags never survive an adaptation). *)
 
 type t
 

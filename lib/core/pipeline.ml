@@ -52,3 +52,6 @@ let train ?(params = adprom_params) dataset =
         dataset.traces
   in
   Profile.train ~params ~analysis:dataset.analysis windows
+
+let train_engine ?params ?cache_capacity dataset =
+  Scoring.create ?cache_capacity (train ?params dataset)

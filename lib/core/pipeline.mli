@@ -46,3 +46,10 @@ val rand_hmm_params : Profile.params
 (** Random initialization, labels kept (Guevara et al.'s view). *)
 
 val train : ?params:Profile.params -> dataset -> Profile.t
+
+val train_engine :
+  ?params:Profile.params -> ?cache_capacity:int -> dataset -> Scoring.t
+(** [train] followed by {!Scoring.create}: the profile compiled into a
+    ready-to-serve scoring engine (interned symbol tables, preallocated
+    forward-pass buffers, verdict memo). What the bench experiments and
+    the CLI use so classification never pays per-window setup. *)

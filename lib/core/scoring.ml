@@ -1,0 +1,448 @@
+module Symbol = Analysis.Symbol
+
+type flag =
+  | Normal
+  | Anomalous
+  | Data_leak
+  | Out_of_context
+
+type verdict = {
+  flag : flag;
+  score : float;
+  unknown_symbol : bool;
+  unknown_pair : (string * Symbol.t) option;
+}
+
+(* --- bounded LRU verdict memo ------------------------------------------ *)
+
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let la = Array.length a in
+    la = Array.length b
+    &&
+    let i = ref 0 in
+    while !i < la && Array.unsafe_get a !i = Array.unsafe_get b !i do
+      incr i
+    done;
+    !i = la
+
+  (* FNV-1a over the whole window. The stdlib polymorphic hash folds
+     only a prefix, which collides badly on stride-1 sliding windows
+     (they share long prefixes). *)
+  let hash (k : int array) =
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun v -> h := (!h lxor v) * 0x01000193 land max_int) k;
+    !h
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+type node = {
+  node_key : int array;
+  node_verdict : verdict;
+  mutable lru_prev : node;  (* toward the MRU end *)
+  mutable lru_next : node;  (* toward the LRU end *)
+}
+
+type cache = {
+  capacity : int;
+  tbl : node Key_tbl.t;
+  sentinel : node;  (* circular list: sentinel.lru_next = MRU, sentinel.lru_prev = LRU *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let dummy_verdict =
+  { flag = Normal; score = 0.0; unknown_symbol = false; unknown_pair = None }
+
+let cache_create capacity =
+  let rec sentinel =
+    { node_key = [||]; node_verdict = dummy_verdict; lru_prev = sentinel; lru_next = sentinel }
+  in
+  {
+    capacity;
+    tbl = Key_tbl.create (max 16 (min (capacity + 1) 1024));
+    sentinel;
+    hits = 0;
+    misses = 0;
+  }
+
+let unlink n =
+  n.lru_prev.lru_next <- n.lru_next;
+  n.lru_next.lru_prev <- n.lru_prev
+
+let push_front c n =
+  let s = c.sentinel in
+  n.lru_next <- s.lru_next;
+  n.lru_prev <- s;
+  s.lru_next.lru_prev <- n;
+  s.lru_next <- n
+
+let cache_find c key =
+  match Key_tbl.find c.tbl key with
+  | node ->
+      c.hits <- c.hits + 1;
+      unlink node;
+      push_front c node;
+      Some node.node_verdict
+  | exception Not_found ->
+      c.misses <- c.misses + 1;
+      None
+
+(* [key] must be freshly owned by the cache (never a scratch buffer). *)
+let cache_insert c key v =
+  if c.capacity > 0 then begin
+    let s = c.sentinel in
+    let node = { node_key = key; node_verdict = v; lru_prev = s; lru_next = s } in
+    push_front c node;
+    Key_tbl.replace c.tbl key node;
+    if Key_tbl.length c.tbl > c.capacity then begin
+      let lru = s.lru_prev in
+      if lru != s then begin
+        unlink lru;
+        Key_tbl.remove c.tbl lru.node_key
+      end
+    end
+  end
+
+let cache_clear c =
+  Key_tbl.reset c.tbl;
+  c.sentinel.lru_prev <- c.sentinel;
+  c.sentinel.lru_next <- c.sentinel
+
+(* --- the compiled engine ----------------------------------------------- *)
+
+type t = {
+  profile : Profile.t;
+  compiled : Hmm.Compiled.t;
+  use_labels : bool;
+  track_callers : bool;
+  labeled : bool array;  (* per alphabet code *)
+  mutable threshold : float;
+  caller_ids : (string, int) Hashtbl.t;  (* interned callers *)
+  mutable next_caller_id : int;
+  pair_stride : int;
+  pair_codes : (int, unit) Hashtbl.t;  (* caller_id * stride + code + 1 *)
+  cache : cache;
+  code_scratch : (int, int array) Hashtbl.t;  (* per-length, reused *)
+  key_scratch : (int, int array) Hashtbl.t;
+}
+
+let intern_caller t caller =
+  match Hashtbl.find t.caller_ids caller with
+  | id -> id
+  | exception Not_found ->
+      let id = t.next_caller_id in
+      t.next_caller_id <- id + 1;
+      Hashtbl.replace t.caller_ids caller id;
+      id
+
+let default_cache_capacity = 8192
+
+let create ?(cache_capacity = default_cache_capacity) profile =
+  if cache_capacity < 0 then invalid_arg "Scoring.create: negative cache capacity";
+  let t =
+    {
+      profile;
+      compiled = Hmm.Compiled.of_model profile.Profile.model;
+      use_labels = profile.Profile.params.Profile.use_labels;
+      track_callers = profile.Profile.params.Profile.track_callers;
+      labeled = Array.map Symbol.is_labeled profile.Profile.alphabet;
+      threshold = profile.Profile.threshold;
+      caller_ids = Hashtbl.create 64;
+      next_caller_id = 0;
+      pair_stride = Array.length profile.Profile.alphabet + 2;
+      pair_codes = Hashtbl.create 256;
+      cache = cache_create cache_capacity;
+      code_scratch = Hashtbl.create 4;
+      key_scratch = Hashtbl.create 4;
+    }
+  in
+  Hashtbl.iter
+    (fun (caller, sym) () ->
+      (* Pairs outside the alphabet cannot arise from train/extend; if
+         one ever does, the per-window fallback below still consults the
+         raw table, so compiling it away here is safe either way. *)
+      match Symbol.Table.find_opt profile.Profile.obs_index sym with
+      | Some code ->
+          Hashtbl.replace t.pair_codes
+            ((intern_caller t caller * t.pair_stride) + code + 1)
+            ()
+      | None -> ())
+    profile.Profile.known_pairs;
+  t
+
+let profile t = t.profile
+let threshold t = t.threshold
+let cache_hits t = t.cache.hits
+let cache_misses t = t.cache.misses
+let cache_len t = Key_tbl.length t.cache.tbl
+let cache_capacity t = t.cache.capacity
+
+let invalidate t = cache_clear t.cache
+
+let set_threshold t th =
+  if not (Float.equal th t.threshold) then begin
+    t.threshold <- th;
+    cache_clear t.cache
+  end
+
+let scratch_of tbl len =
+  match Hashtbl.find tbl len with
+  | a -> a
+  | exception Not_found ->
+      let a = Array.make len 0 in
+      Hashtbl.replace tbl len a;
+      a
+
+(* Exactly the reference flag decision of [Detector.reference_classify]:
+   [labeled_any] stands for [Window.contains_labeled_output]. *)
+let make_verdict t ~score ~unknown_symbol ~unknown_pair ~labeled_any =
+  let anomalous = score < t.threshold || unknown_symbol || unknown_pair <> None in
+  let flag =
+    if not anomalous then Normal
+    else if labeled_any then Data_leak
+    else if unknown_pair <> None then Out_of_context
+    else Anomalous
+  in
+  { flag; score; unknown_symbol; unknown_pair }
+
+let pair_known t ~caller ~cid ~code ~sym =
+  if code >= 0 then Hashtbl.mem t.pair_codes ((cid * t.pair_stride) + code + 1)
+  else Profile.known_pair t.profile caller sym
+
+let classify t window =
+  let w = Profile.prepare t.profile window in
+  let obs = w.Window.obs and callers = w.Window.callers in
+  let len = Array.length obs in
+  if len = 0 then
+    (* the reference fails to encode an empty window and scores it
+       neg_infinity without a forward pass *)
+    make_verdict t ~score:neg_infinity ~unknown_symbol:false ~unknown_pair:None
+      ~labeled_any:false
+  else begin
+    let codes = scratch_of t.code_scratch len in
+    let unknown = ref false and labeled_any = ref false in
+    for i = 0 to len - 1 do
+      let sym = obs.(i) in
+      match Symbol.Table.find t.profile.Profile.obs_index sym with
+      | code ->
+          codes.(i) <- code;
+          if t.labeled.(code) then labeled_any := true
+      | exception Not_found ->
+          codes.(i) <- -1;
+          unknown := true;
+          if Symbol.is_labeled sym then labeled_any := true
+    done;
+    let rec first_unknown_pair i =
+      if i >= len then None
+      else
+        let caller = callers.(i) and sym = obs.(i) in
+        let code = codes.(i) in
+        let cid = if code >= 0 then intern_caller t caller else -1 in
+        if pair_known t ~caller ~cid ~code ~sym then first_unknown_pair (i + 1)
+        else Some (caller, sym)
+    in
+    let unknown_pair () = if t.track_callers then first_unknown_pair 0 else None in
+    if !unknown then
+      (* Symbols outside the alphabet: neg_infinity without a forward
+         pass, and the verdict names the offending symbol, so these
+         windows bypass the memo (codes collide on -1). *)
+      make_verdict t ~score:neg_infinity ~unknown_symbol:true
+        ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
+    else begin
+      let key =
+        if t.track_callers then begin
+          let key = scratch_of t.key_scratch (2 * len) in
+          for i = 0 to len - 1 do
+            key.(2 * i) <- codes.(i);
+            key.((2 * i) + 1) <- intern_caller t callers.(i)
+          done;
+          key
+        end
+        else codes
+      in
+      match cache_find t.cache key with
+      | Some v -> v
+      | None ->
+          let score = Hmm.Compiled.per_symbol_score_sub t.compiled codes ~pos:0 ~len in
+          let v =
+            make_verdict t ~score ~unknown_symbol:false
+              ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
+          in
+          cache_insert t.cache (Array.copy key) v;
+          v
+    end
+  end
+
+let monitor t trace =
+  List.map
+    (fun w -> (w, classify t w))
+    (Window.of_trace ~window:t.profile.Profile.params.Profile.window trace)
+
+let extend t windows =
+  create ~cache_capacity:t.cache.capacity (Profile.extend t.profile windows)
+
+(* --- per-profile engine cache (domain-local) ---------------------------- *)
+
+let of_profile_limit = 8
+
+let dls_engines : (Profile.t * t) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let of_profile p =
+  let engines = Domain.DLS.get dls_engines in
+  match List.find_opt (fun (p', _) -> p' == p) !engines with
+  | Some (_, eng) ->
+      (match !engines with
+      | (p', _) :: _ when p' == p -> ()  (* already MRU: skip the rebuild *)
+      | _ -> engines := (p, eng) :: List.filter (fun (p', _) -> p' != p) !engines);
+      eng
+  | None ->
+      let eng = create p in
+      let rest =
+        if List.length !engines >= of_profile_limit then
+          List.filteri (fun i _ -> i < of_profile_limit - 1) !engines
+        else !engines
+      in
+      engines := (p, eng) :: rest;
+      eng
+
+(* --- incremental per-session streams ------------------------------------ *)
+
+module Stream = struct
+  type engine = t
+
+  type t = {
+    eng : engine;
+    window : int;
+    s_codes : int array;  (* ring, capacity [window]; -1 = outside alphabet *)
+    s_syms : Symbol.t array;  (* prepared observable symbols *)
+    s_callers : string array;
+    s_cids : int array;
+    s_labeled : bool array;
+    s_pair_known : bool array;
+    mutable pushed : int;
+    mutable is_flushed : bool;
+  }
+
+  let create ?window eng =
+    let window =
+      match window with
+      | Some w -> w
+      | None -> eng.profile.Profile.params.Profile.window
+    in
+    if window <= 0 then invalid_arg "Scoring.Stream.create: window must be positive";
+    {
+      eng;
+      window;
+      s_codes = Array.make window (-1);
+      s_syms = Array.make window Symbol.Entry;
+      s_callers = Array.make window "";
+      s_cids = Array.make window (-1);
+      s_labeled = Array.make window false;
+      s_pair_known = Array.make window false;
+      pushed = 0;
+      is_flushed = false;
+    }
+
+  let engine st = st.eng
+  let window st = st.window
+  let events_seen st = st.pushed
+  let flushed st = st.is_flushed
+
+  (* Classify the window of the last [len] buffered events, oldest
+     first, straight from the int-coded ring. *)
+  let classify_last st len =
+    let eng = st.eng in
+    let start = st.pushed - len in
+    let slot i = (start + i) mod st.window in
+    let unknown = ref false and labeled_any = ref false in
+    for i = 0 to len - 1 do
+      let s = slot i in
+      if st.s_codes.(s) < 0 then unknown := true;
+      if st.s_labeled.(s) then labeled_any := true
+    done;
+    let rec first_unknown_pair i =
+      if i >= len then None
+      else
+        let s = slot i in
+        if st.s_pair_known.(s) then first_unknown_pair (i + 1)
+        else Some (st.s_callers.(s), st.s_syms.(s))
+    in
+    let unknown_pair () = if eng.track_callers then first_unknown_pair 0 else None in
+    if !unknown then
+      make_verdict eng ~score:neg_infinity ~unknown_symbol:true
+        ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
+    else begin
+      let key =
+        if eng.track_callers then begin
+          let key = scratch_of eng.key_scratch (2 * len) in
+          for i = 0 to len - 1 do
+            let s = slot i in
+            key.(2 * i) <- st.s_codes.(s);
+            key.((2 * i) + 1) <- st.s_cids.(s)
+          done;
+          key
+        end
+        else begin
+          let key = scratch_of eng.code_scratch len in
+          for i = 0 to len - 1 do
+            key.(i) <- st.s_codes.(slot i)
+          done;
+          key
+        end
+      in
+      match cache_find eng.cache key with
+      | Some v -> v
+      | None ->
+          let codes = scratch_of eng.code_scratch len in
+          if eng.track_callers then
+            for i = 0 to len - 1 do
+              codes.(i) <- st.s_codes.(slot i)
+            done;
+          let score = Hmm.Compiled.per_symbol_score_sub eng.compiled codes ~pos:0 ~len in
+          let v =
+            make_verdict eng ~score ~unknown_symbol:false
+              ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
+          in
+          cache_insert eng.cache (Array.copy key) v;
+          v
+    end
+
+  let push st (event : Runtime.Collector.event) =
+    if st.is_flushed then Error "push after flush: scorer already flushed"
+    else begin
+      let eng = st.eng in
+      let sym0 = Symbol.observable event.Runtime.Collector.symbol in
+      let sym = if eng.use_labels then sym0 else Symbol.strip_label sym0 in
+      let caller = event.Runtime.Collector.caller in
+      let slot = st.pushed mod st.window in
+      let code =
+        match Symbol.Table.find eng.profile.Profile.obs_index sym with
+        | c -> c
+        | exception Not_found -> -1
+      in
+      let cid = if eng.track_callers && code >= 0 then intern_caller eng caller else -1 in
+      st.s_codes.(slot) <- code;
+      st.s_syms.(slot) <- sym;
+      st.s_callers.(slot) <- caller;
+      st.s_cids.(slot) <- cid;
+      st.s_labeled.(slot) <- (if code >= 0 then eng.labeled.(code) else Symbol.is_labeled sym);
+      st.s_pair_known.(slot) <-
+        (if not eng.track_callers then true
+         else pair_known eng ~caller ~cid ~code ~sym);
+      st.pushed <- st.pushed + 1;
+      if st.pushed >= st.window then Ok (Some (classify_last st st.window)) else Ok None
+    end
+
+  let flush st =
+    if st.is_flushed then None
+    else begin
+      st.is_flushed <- true;
+      if st.pushed > 0 && st.pushed < st.window then Some (classify_last st st.pushed)
+      else None
+    end
+end

@@ -1,0 +1,115 @@
+(** The compiled scoring engine — the detection loop's hot path
+    (Sec. IV-D), built once per profile.
+
+    [create] compiles a profile for repeated scoring: observation
+    symbols are interned to dense int codes, the HMM tables are
+    flattened into preallocated float arrays ({!Hmm.Compiled}), callers
+    are interned and the (caller, call) pairs become an int-keyed set,
+    and verdicts are memoized in a bounded LRU keyed by the encoded
+    window — a hit skips the O(window·n²) forward pass entirely. The
+    forward pass itself reuses scratch buffers and allocates nothing.
+
+    Equivalence guarantee: for every profile and window, {!classify}
+    returns exactly {!Detector.reference_classify} — same flag,
+    bit-for-bit same score, same [unknown_symbol] and [unknown_pair]
+    (property-tested in [test/test_scoring.ml]).
+
+    An engine is {b not} thread-safe (it owns scratch buffers and the
+    memo): use one engine per domain. {!of_profile} hands out
+    domain-local engines keyed by physical profile identity. *)
+
+type flag =
+  | Normal
+  | Anomalous
+  | Data_leak
+  | Out_of_context
+
+type verdict = {
+  flag : flag;
+  score : float;
+  unknown_symbol : bool;  (** the window used a call never seen in training *)
+  unknown_pair : (string * Analysis.Symbol.t) option;
+      (** first out-of-context (caller, call) pair, if any *)
+}
+
+type t
+
+val default_cache_capacity : int
+(** 8192 memoized verdicts. *)
+
+val create : ?cache_capacity:int -> Profile.t -> t
+(** Compile the profile. [cache_capacity 0] disables the verdict memo
+    (every window pays the forward pass).
+    @raise Invalid_argument on a negative capacity. *)
+
+val of_profile : Profile.t -> t
+(** The domain-local engine of this profile (physical identity): the
+    engine behind the thin [Detector.classify]/[Detector.monitor]
+    wrappers. At most a handful of engines are retained per domain,
+    most-recently-used first. *)
+
+val profile : t -> Profile.t
+
+val threshold : t -> float
+(** The detection threshold in force — the profile's, unless
+    {!set_threshold} overrode it. *)
+
+val set_threshold : t -> float -> unit
+(** Override the detection threshold (adaptive monitoring); flushes the
+    verdict memo when the value actually changes. *)
+
+val classify : t -> Window.t -> verdict
+(** Score and flag one window; identical to
+    [Detector.reference_classify (profile t)] (with the engine's
+    threshold). Windows containing symbols outside the alphabet score
+    [neg_infinity] without a forward pass and bypass the memo. *)
+
+val monitor : t -> Runtime.Collector.trace -> (Window.t * verdict) list
+(** Slide the profile's window over a trace and classify each position
+    — the batch detection loop, memoized. *)
+
+val extend : t -> Window.t list -> t
+(** [Profile.extend] then recompile: the new engine starts with an
+    empty memo, so no verdict of the old model can leak past the
+    extension. The old engine stays valid for the old profile. *)
+
+val invalidate : t -> unit
+(** Drop every memoized verdict (hit/miss counters are preserved). *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_len : t -> int
+val cache_capacity : t -> int
+
+module Stream : sig
+  (** Per-session incremental scoring over the engine: a ring of int
+      codes (symbols are interned once, at [push]), classified on every
+      arrival once full. All sessions of a domain share the engine's
+      verdict memo, so tenants replaying similar windows score each
+      other's work. Feeding a whole trace and flushing yields exactly
+      the verdicts of [monitor] on that trace. *)
+
+  type engine = t
+
+  type t
+
+  val create : ?window:int -> engine -> t
+  (** [window] defaults to the profile's window length.
+      @raise Invalid_argument if [window <= 0]. *)
+
+  val engine : t -> engine
+  val window : t -> int
+
+  val push : t -> Runtime.Collector.event -> (verdict option, string) result
+  (** Ingest one event; [Ok (Some verdict)] once at least [window]
+      events have been seen. After {!flush}, a soft [Error] — never an
+      exception — so a daemon shard can account a protocol slip without
+      dying. *)
+
+  val flush : t -> verdict option
+  (** End of session: a non-empty session shorter than the window
+      yields its single whole-trace verdict. Idempotent. *)
+
+  val events_seen : t -> int
+  val flushed : t -> bool
+end

@@ -121,6 +121,128 @@ let forward t obs =
   end;
   (alpha, scale)
 
+(* Compiled evaluation: the same scaled forward pass, restricted to the
+   evaluation problem, with every table flattened and every buffer
+   preallocated so the steady-state scoring path allocates nothing. The
+   arithmetic mirrors [forward]/[log_likelihood] operation for
+   operation (same summation order, same guards), so compiled scores
+   are bit-for-bit equal to the reference ones. *)
+module Compiled = struct
+  type model = t
+
+  type t = {
+    model : model;
+    n : int;
+    m : int;
+    a : float array;  (* n x n, row-major (shared with the model) *)
+    bt : float array;  (* m x n: emissions transposed, so the column of
+                          one observation symbol is contiguous *)
+    pi : float array;
+    mutable cur : float array;  (* scratch forward rows, reused *)
+    mutable nxt : float array;
+  }
+
+  let of_model (model : model) =
+    let n = model.n and m = model.m in
+    let bdata = model.b.Matrix.data in
+    let bt = Array.make (m * n) 0.0 in
+    for i = 0 to n - 1 do
+      for o = 0 to m - 1 do
+        bt.((o * n) + i) <- Array.unsafe_get bdata ((i * m) + o)
+      done
+    done;
+    {
+      model;
+      n;
+      m;
+      a = model.a.Matrix.data;
+      bt;
+      pi = model.pi;
+      cur = Array.make n 0.0;
+      nxt = Array.make n 0.0;
+    }
+
+  let model c = c.model
+
+  (* [log P(obs.(pos .. pos+len-1) | λ)], allocation-free. Exactly
+     [log_likelihood] on the slice: [neg_infinity] as soon as a scaling
+     factor vanishes, otherwise the in-order sum of [log c_t]. *)
+  let log_likelihood_sub c obs ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Array.length obs then
+      invalid_arg "Hmm.Compiled: slice out of bounds";
+    for k = pos to pos + len - 1 do
+      let o = Array.unsafe_get obs k in
+      if o < 0 || o >= c.m then
+        invalid_arg
+          (Printf.sprintf "Hmm: observation %d outside alphabet of size %d" o c.m)
+    done;
+    if len = 0 then 0.0
+    else begin
+      let n = c.n in
+      let cur = c.cur in
+      let o0 = obs.(pos) in
+      let base0 = o0 * n in
+      for i = 0 to n - 1 do
+        Array.unsafe_set cur i (c.pi.(i) *. Array.unsafe_get c.bt (base0 + i))
+      done;
+      let scale0 = ref 0.0 in
+      for i = 0 to n - 1 do
+        scale0 := !scale0 +. Array.unsafe_get cur i
+      done;
+      if !scale0 <= 0.0 then neg_infinity
+      else begin
+        for i = 0 to n - 1 do
+          Array.unsafe_set cur i (Array.unsafe_get cur i /. !scale0)
+        done;
+        let loglik = ref (0.0 +. log !scale0) in
+        let impossible = ref false in
+        let step = ref 1 in
+        while (not !impossible) && !step < len do
+          let cur = c.cur and nxt = c.nxt in
+          Array.fill nxt 0 n 0.0;
+          for i = 0 to n - 1 do
+            let pi_ = Array.unsafe_get cur i in
+            if pi_ > 0.0 then begin
+              let base = i * n in
+              for j = 0 to n - 1 do
+                Array.unsafe_set nxt j
+                  (Array.unsafe_get nxt j +. (pi_ *. Array.unsafe_get c.a (base + j)))
+              done
+            end
+          done;
+          let o = obs.(pos + !step) in
+          let bbase = o * n in
+          let total = ref 0.0 in
+          for j = 0 to n - 1 do
+            let v = Array.unsafe_get nxt j *. Array.unsafe_get c.bt (bbase + j) in
+            Array.unsafe_set nxt j v;
+            total := !total +. v
+          done;
+          if !total <= 0.0 then impossible := true
+          else begin
+            loglik := !loglik +. log !total;
+            for j = 0 to n - 1 do
+              Array.unsafe_set nxt j (Array.unsafe_get nxt j /. !total)
+            done;
+            c.cur <- nxt;
+            c.nxt <- cur;
+            incr step
+          end
+        done;
+        if !impossible then neg_infinity else !loglik
+      end
+    end
+
+  let per_symbol_score_sub c obs ~pos ~len =
+    if len = 0 then 0.0 else log_likelihood_sub c obs ~pos ~len /. float_of_int len
+
+  let log_likelihood c obs =
+    log_likelihood_sub c obs ~pos:0 ~len:(Array.length obs)
+
+  let per_symbol_score c obs =
+    per_symbol_score_sub c obs ~pos:0 ~len:(Array.length obs)
+end
+
 let sample ~rng t len =
   let obs = Array.make len 0 in
   if len > 0 then begin

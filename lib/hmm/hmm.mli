@@ -35,6 +35,34 @@ val per_symbol_score : t -> int array -> float
     threshold. [neg_infinity] on impossible sequences; 0.0 on the empty
     sequence. *)
 
+module Compiled : sig
+  (** Compiled evaluation for the detection hot path (Sec. IV-D): the
+      same scaled forward pass with the transition table flattened, the
+      emission table transposed (one observation's column contiguous)
+      and the forward rows preallocated, so steady-state scoring
+      allocates nothing. Scores are bit-for-bit equal to
+      {!log_likelihood} / {!per_symbol_score}; a compiled scorer is not
+      thread-safe (it owns its scratch rows) — use one per domain. *)
+
+  type model := t
+
+  type t
+
+  val of_model : model -> t
+  val model : t -> model
+
+  val log_likelihood_sub : t -> int array -> pos:int -> len:int -> float
+  (** [log P(obs.(pos..pos+len-1) | λ)], allocation-free; bit-for-bit
+      equal to {!Hmm.log_likelihood} on the slice. @raise
+      Invalid_argument on an out-of-bounds slice or an observation
+      outside [\[0, m)]. *)
+
+  val per_symbol_score_sub : t -> int array -> pos:int -> len:int -> float
+
+  val log_likelihood : t -> int array -> float
+  val per_symbol_score : t -> int array -> float
+end
+
 val sample : rng:Mlkit.Rng.t -> t -> int -> int array
 (** Generate an observation sequence of the given length from the
     model's distribution. *)

@@ -1,5 +1,6 @@
 module Detector = Adprom.Detector
 module Profile = Adprom.Profile
+module Scoring = Adprom.Scoring
 
 type message =
   | Event of Codec.event
@@ -74,12 +75,30 @@ let flag_counter_names =
 let shard_of t session = Hashtbl.hash session mod Array.length t.shards
 
 let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
+  (* one compiled engine per worker domain: every session of this shard
+     shares its interned tables and verdict memo *)
+  let engine = Scoring.create profile in
   let scorers : (int, Scorer.t) Hashtbl.t = Hashtbl.create 64 in
   let shed_here : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let discarded = ref [] in
   let c_windows = Metrics.counter metrics "adprom_windows_scored_total" in
   let c_flags = Array.map (Metrics.counter metrics) flag_counter_names in
   let h_latency = Metrics.histogram metrics "adprom_score_latency_seconds" in
+  let c_hits = Metrics.counter metrics "adprom_score_cache_hits_total" in
+  let c_misses = Metrics.counter metrics "adprom_score_cache_misses_total" in
+  let c_scorer_errors = Metrics.counter metrics "adprom_scorer_errors_total" in
+  let seen_hits = ref 0 and seen_misses = ref 0 in
+  let sync_cache_counters () =
+    let h = Scoring.cache_hits engine and m = Scoring.cache_misses engine in
+    if h > !seen_hits then begin
+      Metrics.incr ~by:(h - !seen_hits) c_hits;
+      seen_hits := h
+    end;
+    if m > !seen_misses then begin
+      Metrics.incr ~by:(m - !seen_misses) c_misses;
+      seen_misses := m
+    end
+  in
   let account session scorer verdict =
     Metrics.incr c_windows;
     Metrics.incr c_flags.(flag_severity verdict.Detector.flag);
@@ -95,14 +114,18 @@ let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
             match Hashtbl.find_opt scorers session with
             | Some s -> s
             | None ->
-                let s = Scorer.create ~keep_verdicts profile in
+                let s = Scorer.create_with ~keep_verdicts engine in
                 Hashtbl.replace scorers session s;
                 s
           in
           let t0 = Unix.gettimeofday () in
           (match Scorer.push scorer event with
-          | Some verdict -> account session scorer verdict
-          | None -> ());
+          | Ok (Some verdict) -> account session scorer verdict
+          | Ok None -> ()
+          | Error _ ->
+              (* a protocol slip (event after end-of-session), handled
+                 like a codec-level incident — never a dead shard *)
+              Metrics.incr c_scorer_errors);
           Metrics.observe h_latency (Unix.gettimeofday () -. t0)
         end
     | Shed session ->
@@ -124,6 +147,7 @@ let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
     Metrics.set_gauge shard.depth 0;
     Mutex.unlock shard.mutex;
     Queue.iter handle batch;
+    sync_cache_counters ();
     if finished then begin
       let reports =
         Hashtbl.fold
@@ -141,6 +165,7 @@ let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
             :: acc)
           scorers []
       in
+      sync_cache_counters ();
       { reports; discarded = !discarded }
     end
     else loop ()
@@ -158,6 +183,9 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
   ignore (Metrics.counter metrics "adprom_windows_scored_total");
   Array.iter (fun n -> ignore (Metrics.counter metrics n)) flag_counter_names;
   ignore (Metrics.histogram metrics "adprom_score_latency_seconds");
+  ignore (Metrics.counter metrics "adprom_score_cache_hits_total");
+  ignore (Metrics.counter metrics "adprom_score_cache_misses_total");
+  ignore (Metrics.counter metrics "adprom_scorer_errors_total");
   let shard_array =
     Array.init shards (fun i ->
         {

@@ -41,9 +41,15 @@ let verify_against_batch profile stream summary =
   List.iter
     (fun (r : Daemon.session_report) ->
       let batch_flags =
+        (* deliberately the uncompiled specification path: a divergence
+           in the live engine (interning, memo, ring) cannot hide behind
+           the same bug on the batch side *)
         match List.assoc_opt r.Daemon.session batch_by_session with
         | Some trace ->
-            List.map (fun (_, v) -> v.Detector.flag) (Detector.monitor profile trace)
+            let window = profile.Adprom.Profile.params.Adprom.Profile.window in
+            List.map
+              (fun w -> (Detector.reference_classify profile w).Detector.flag)
+              (Adprom.Window.of_trace ~window trace)
         | None -> []
       in
       let live_flags = List.map (fun v -> v.Detector.flag) r.Daemon.verdicts in

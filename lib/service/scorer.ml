@@ -1,14 +1,9 @@
-module Symbol = Analysis.Symbol
 module Detector = Adprom.Detector
 module Profile = Adprom.Profile
-module Window = Adprom.Window
+module Scoring = Adprom.Scoring
 
 type t = {
-  profile : Profile.t;
-  window : int;
-  buf : Runtime.Collector.event option array;  (* ring, capacity [window] *)
-  mutable pushed : int;  (* total events seen *)
-  mutable flushed : bool;
+  stream : Scoring.Stream.t;
   keep_verdicts : bool;
   mutable verdicts_rev : Detector.verdict list;
   mutable windows_scored : int;
@@ -22,19 +17,9 @@ let severity = function
   | Detector.Out_of_context -> 2
   | Detector.Data_leak -> 3
 
-let create ?window ?(keep_verdicts = true) profile =
-  let window =
-    match window with
-    | Some w -> w
-    | None -> profile.Profile.params.Profile.window
-  in
-  if window <= 0 then invalid_arg "Scorer.create: window must be positive";
+let create_with ?window ?(keep_verdicts = true) engine =
   {
-    profile;
-    window;
-    buf = Array.make window None;
-    pushed = 0;
-    flushed = false;
+    stream = Scoring.Stream.create ?window engine;
     keep_verdicts;
     verdicts_rev = [];
     windows_scored = 0;
@@ -42,20 +27,10 @@ let create ?window ?(keep_verdicts = true) profile =
     flag_counts = Array.make 4 0;
   }
 
-(* Materialize the last [n] buffered events, oldest first, as a Window.t
-   (same symbol projection as Window.of_trace). *)
-let window_of_last t n =
-  let start = t.pushed - n in
-  let event i =
-    match t.buf.((start + i) mod t.window) with
-    | Some e -> e
-    | None -> assert false
-  in
-  {
-    Window.obs =
-      Array.init n (fun i -> Symbol.observable (event i).Runtime.Collector.symbol);
-    callers = Array.init n (fun i -> (event i).Runtime.Collector.caller);
-  }
+let create ?window ?keep_verdicts profile =
+  create_with ?window ?keep_verdicts (Scoring.of_profile profile)
+
+let engine t = Scoring.Stream.engine t.stream
 
 let account t verdict =
   t.windows_scored <- t.windows_scored + 1;
@@ -65,31 +40,23 @@ let account t verdict =
   if t.keep_verdicts then t.verdicts_rev <- verdict :: t.verdicts_rev
 
 let push t event =
-  if t.flushed then invalid_arg "Scorer.push: scorer already flushed";
-  t.buf.(t.pushed mod t.window) <- Some event;
-  t.pushed <- t.pushed + 1;
-  if t.pushed >= t.window then begin
-    let verdict = Detector.classify t.profile (window_of_last t t.window) in
-    account t verdict;
-    Some verdict
-  end
-  else None
+  match Scoring.Stream.push t.stream event with
+  | Ok (Some verdict) ->
+      account t verdict;
+      Ok (Some verdict)
+  | Ok None -> Ok None
+  | Error _ as e -> e
 
 let flush t =
-  if t.flushed then None
-  else begin
-    t.flushed <- true;
-    (* A session shorter than the window yields one whole-trace window,
-       exactly like Window.of_trace on a short trace. *)
-    if t.pushed > 0 && t.pushed < t.window then begin
-      let verdict = Detector.classify t.profile (window_of_last t t.pushed) in
-      account t verdict;
-      Some verdict
-    end
-    else None
-  end
+  if Scoring.Stream.flushed t.stream then None
+  else
+    match Scoring.Stream.flush t.stream with
+    | Some verdict ->
+        account t verdict;
+        Some verdict
+    | None -> None
 
-let events_seen t = t.pushed
+let events_seen t = Scoring.Stream.events_seen t.stream
 let windows_scored t = t.windows_scored
 let worst t = t.worst
 let verdicts t = List.rev t.verdicts_rev

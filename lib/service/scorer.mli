@@ -1,22 +1,35 @@
-(** Per-session incremental scoring: a ring buffer of the last [window]
-    events, classified on every arrival once full. Feeding a whole trace
-    event-by-event and then calling {!flush} produces exactly the
-    verdicts of the batch loop [Detector.monitor profile trace] — each
-    event is scored once as it arrives instead of re-windowing the whole
-    trace. *)
+(** Per-session incremental scoring over the compiled engine: a ring of
+    interned codes ({!Adprom.Scoring.Stream}), classified on every
+    arrival once full, plus per-session verdict accounting. Feeding a
+    whole trace event-by-event and then calling {!flush} produces
+    exactly the verdicts of the batch loop [Detector.monitor profile
+    trace] — each event is scored once as it arrives, and repeated
+    windows are served from the engine's verdict memo without a forward
+    pass. *)
 
 type t
 
 val create : ?window:int -> ?keep_verdicts:bool -> Adprom.Profile.t -> t
-(** [window] defaults to the profile's window length. With
-    [keep_verdicts:false] (for high-volume serving) only the counts and
-    the worst flag are retained, not the verdict list.
+(** Score over the profile's domain-local engine
+    ([Scoring.of_profile]): every scorer of this profile on the calling
+    domain shares one compiled engine and one verdict memo. [window]
+    defaults to the profile's window length. With [keep_verdicts:false]
+    (for high-volume serving) only the counts and the worst flag are
+    retained, not the verdict list.
     @raise Invalid_argument if [window <= 0]. *)
 
-val push : t -> Runtime.Collector.event -> Adprom.Detector.verdict option
-(** Ingest one event; [Some verdict] once at least [window] events have
-    been seen (the verdict of the window ending at this event).
-    @raise Invalid_argument after {!flush}. *)
+val create_with : ?window:int -> ?keep_verdicts:bool -> Adprom.Scoring.t -> t
+(** Same, over an explicit engine — what the daemon uses to share one
+    engine across all sessions of a worker domain. *)
+
+val engine : t -> Adprom.Scoring.t
+
+val push : t -> Runtime.Collector.event -> (Adprom.Detector.verdict option, string) result
+(** Ingest one event; [Ok (Some verdict)] once at least [window] events
+    have been seen (the verdict of the window ending at this event).
+    After {!flush}, a soft [Error] describing the protocol slip — never
+    an exception — so the daemon can account it as a codec-level
+    incident instead of crashing a shard. *)
 
 val flush : t -> Adprom.Detector.verdict option
 (** End of session. A non-empty session shorter than the window yields

@@ -1,0 +1,318 @@
+(* The compiled scoring engine (Adprom.Scoring) against its
+   specification (Detector.reference_classify): QCheck2 equivalence on
+   random profiles and windows — flag, bit-for-bit score, unknown
+   symbol/pair — including memo-hit re-scores and post-extend engines,
+   plus unit tests for the LRU memo, threshold invalidation and the
+   streaming ring. *)
+
+module Scoring = Adprom.Scoring
+module Detector = Adprom.Detector
+module Profile = Adprom.Profile
+module Window = Adprom.Window
+module Reduction = Adprom.Reduction
+module Symbol = Analysis.Symbol
+
+(* --- random profiles built directly (training is too slow per case) -------- *)
+
+let mk_symbol ~labeled i =
+  if labeled then
+    Symbol.Lib { name = Printf.sprintf "call%d" i; label = Some i; site = None }
+  else Symbol.lib (Printf.sprintf "call%d" i)
+
+let make_profile ~seed ~m ~n ~use_labels ~track_callers =
+  let alphabet =
+    (* a label-free view never has labeled symbols in its alphabet
+       (training strips them before alphabet construction) *)
+    Array.init m (fun i -> mk_symbol ~labeled:(use_labels && i mod 3 = 0) i)
+  in
+  let obs_index = Symbol.Table.create m in
+  Array.iteri (fun i s -> Symbol.Table.replace obs_index s i) alphabet;
+  let rng = Mlkit.Rng.create (seed + 1) in
+  let model = Hmm.random ~rng ~n ~m in
+  let known_pairs = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      if (seed + i) mod 2 = 0 then
+        Hashtbl.replace known_pairs (Printf.sprintf "c%d" (i mod 4), s) ())
+    alphabet;
+  {
+    Profile.params =
+      { Profile.default_params with Profile.use_labels; track_callers };
+    alphabet;
+    obs_index;
+    model;
+    threshold = -.float_of_int (1 + (seed mod 7));
+    clustering =
+      {
+        Reduction.sites = alphabet;
+        assignment = Array.make m 0;
+        states = n;
+        reduced = false;
+      };
+    known_pairs;
+    csds_history = [];
+    rounds_run = 0;
+  }
+
+(* window specs: per position, a symbol code and a caller id. Codes -1
+   and -2 are foreign symbols (unlabeled / labeled) the profile never
+   saw — the unknown-symbol path, which must bypass the memo. *)
+let window_of_spec alphabet spec =
+  let m = Array.length alphabet in
+  let sym = function
+    | -1 -> Symbol.lib "alien"
+    | -2 -> Symbol.Lib { name = "alien_out"; label = Some 1; site = None }
+    | s -> Symbol.observable alphabet.(s mod m)
+  in
+  {
+    Window.obs = Array.of_list (List.map (fun (s, _) -> sym s) spec);
+    callers =
+      Array.of_list (List.map (fun (_, c) -> Printf.sprintf "c%d" c) spec);
+  }
+
+let verdict_eq (a : Detector.verdict) (b : Detector.verdict) =
+  a.Detector.flag = b.Detector.flag
+  && (a.Detector.score = b.Detector.score
+     || (Float.is_nan a.Detector.score && Float.is_nan b.Detector.score))
+  && a.Detector.unknown_symbol = b.Detector.unknown_symbol
+  && a.Detector.unknown_pair = b.Detector.unknown_pair
+
+let cfg_gen =
+  QCheck2.Gen.(
+    quad (int_bound 9999) (int_range 3 8) (int_range 2 5) (pair bool bool))
+
+let specs_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 8)
+      (list_size (int_range 0 25) (pair (int_range (-2) 9) (int_bound 3))))
+
+let print_case ((seed, m, n, (ul, tc)), specs) =
+  Printf.sprintf "seed=%d m=%d n=%d use_labels=%b track_callers=%b windows=%s"
+    seed m n ul tc
+    (String.concat "+" (List.map (fun s -> string_of_int (List.length s)) specs))
+
+let prop_engine_matches_reference =
+  QCheck2.Test.make
+    ~name:"Scoring.classify = reference_classify (incl. memo hits)" ~count:80
+    ~print:print_case
+    QCheck2.Gen.(pair cfg_gen specs_gen)
+    (fun ((seed, m, n, (use_labels, track_callers)), specs) ->
+      let profile = make_profile ~seed ~m ~n ~use_labels ~track_callers in
+      (* a tiny memo so eviction happens mid-property *)
+      let engine = Scoring.create ~cache_capacity:4 profile in
+      let windows = List.map (window_of_spec profile.Profile.alphabet) specs in
+      List.for_all
+        (fun w ->
+          let reference = Detector.reference_classify profile w in
+          verdict_eq reference (Scoring.classify engine w)
+          (* immediate re-score: a memo hit for cacheable windows *)
+          && verdict_eq reference (Scoring.classify engine w))
+        windows
+      && (* second sweep after the memo churned *)
+      List.for_all
+        (fun w ->
+          verdict_eq
+            (Detector.reference_classify profile w)
+            (Scoring.classify engine w))
+        windows)
+
+let prop_wrapper_matches_reference =
+  QCheck2.Test.make
+    ~name:"Detector.classify (engine-backed wrapper) = reference_classify"
+    ~count:40 ~print:print_case
+    QCheck2.Gen.(pair cfg_gen specs_gen)
+    (fun ((seed, m, n, (use_labels, track_callers)), specs) ->
+      let profile = make_profile ~seed ~m ~n ~use_labels ~track_callers in
+      List.for_all
+        (fun spec ->
+          let w = window_of_spec profile.Profile.alphabet spec in
+          verdict_eq
+            (Detector.reference_classify profile w)
+            (Detector.classify profile w))
+        specs)
+
+let prop_extend_invalidates =
+  (* an extended engine must agree with the reference on the extended
+     profile — no verdict of the old model may survive the extension *)
+  QCheck2.Test.make ~name:"post-extend engine = reference on extended profile"
+    ~count:15 ~print:print_case
+    QCheck2.Gen.(pair cfg_gen specs_gen)
+    (fun ((seed, m, n, (_, track_callers)), specs) ->
+      let profile =
+        make_profile ~seed ~m ~n ~use_labels:true ~track_callers
+      in
+      let engine = Scoring.create profile in
+      let windows = List.map (window_of_spec profile.Profile.alphabet) specs in
+      (* warm the memo on the old model *)
+      List.iter (fun w -> ignore (Scoring.classify engine w)) windows;
+      let growth =
+        [
+          window_of_spec profile.Profile.alphabet
+            (List.init 10 (fun i -> (i, i mod 4)));
+          window_of_spec profile.Profile.alphabet
+            (List.init 10 (fun i -> (2 * i, (i + 1) mod 4)));
+        ]
+      in
+      let extended = Scoring.extend engine growth in
+      let extended_profile = Scoring.profile extended in
+      List.for_all
+        (fun w ->
+          verdict_eq
+            (Detector.reference_classify extended_profile w)
+            (Scoring.classify extended w))
+        windows)
+
+(* --- unit tests -------------------------------------------------------------- *)
+
+let fixed_profile () =
+  make_profile ~seed:5 ~m:6 ~n:3 ~use_labels:true ~track_callers:true
+
+let known_window profile k =
+  window_of_spec profile.Profile.alphabet
+    (List.init 4 (fun i -> ((k + i) mod Array.length profile.Profile.alphabet, 0)))
+
+let test_lru_eviction () =
+  let profile = fixed_profile () in
+  let engine = Scoring.create ~cache_capacity:2 profile in
+  Alcotest.(check int) "capacity" 2 (Scoring.cache_capacity engine);
+  let w1 = known_window profile 0
+  and w2 = known_window profile 1
+  and w3 = known_window profile 2 in
+  ignore (Scoring.classify engine w1);
+  ignore (Scoring.classify engine w1);
+  Alcotest.(check int) "one hit" 1 (Scoring.cache_hits engine);
+  Alcotest.(check int) "one miss" 1 (Scoring.cache_misses engine);
+  ignore (Scoring.classify engine w2);
+  ignore (Scoring.classify engine w3);
+  Alcotest.(check int) "bounded" 2 (Scoring.cache_len engine);
+  (* w1 was evicted (least recently used), so it misses again *)
+  ignore (Scoring.classify engine w1);
+  Alcotest.(check int) "evicted entry misses" 4 (Scoring.cache_misses engine);
+  Alcotest.(check int) "hits unchanged" 1 (Scoring.cache_hits engine)
+
+let test_cache_disabled () =
+  let profile = fixed_profile () in
+  let engine = Scoring.create ~cache_capacity:0 profile in
+  let w = known_window profile 0 in
+  let a = Scoring.classify engine w in
+  let b = Scoring.classify engine w in
+  Alcotest.(check bool) "same verdict" true (verdict_eq a b);
+  Alcotest.(check int) "nothing cached" 0 (Scoring.cache_len engine);
+  Alcotest.(check int) "no hits" 0 (Scoring.cache_hits engine)
+
+let test_threshold_invalidation () =
+  let profile = fixed_profile () in
+  let engine = Scoring.create profile in
+  let w = known_window profile 0 in
+  let v = Scoring.classify engine w in
+  Alcotest.(check bool) "finite score" true (Float.is_finite v.Detector.score);
+  (* raising the threshold above the score must flip the flag — a stale
+     memo entry would keep the old verdict *)
+  Scoring.set_threshold engine (v.Detector.score +. 1.0);
+  Alcotest.(check int) "memo flushed" 0 (Scoring.cache_len engine);
+  let v' = Scoring.classify engine w in
+  Alcotest.(check bool) "reflagged under the new threshold" true
+    (v'.Detector.flag <> Detector.Normal);
+  Alcotest.(check bool) "score unchanged" true
+    (v.Detector.score = v'.Detector.score);
+  (* setting the same threshold again must not flush *)
+  Scoring.set_threshold engine (Scoring.threshold engine);
+  Alcotest.(check int) "no-op set keeps the memo" 1 (Scoring.cache_len engine)
+
+let test_unknown_bypasses_memo () =
+  let profile = fixed_profile () in
+  let engine = Scoring.create profile in
+  let alien =
+    {
+      Window.obs = [| Symbol.lib "alien"; Symbol.observable profile.Profile.alphabet.(0) |];
+      callers = [| "c0"; "c0" |];
+    }
+  in
+  let v = Scoring.classify engine alien in
+  Alcotest.(check bool) "unknown symbol" true v.Detector.unknown_symbol;
+  Alcotest.(check bool) "neg_infinity score" true
+    (v.Detector.score = Float.neg_infinity);
+  Alcotest.(check int) "not memoized" 0 (Scoring.cache_len engine);
+  Alcotest.(check bool) "equal to reference" true
+    (verdict_eq (Detector.reference_classify profile alien) v)
+
+let test_empty_window () =
+  let profile = fixed_profile () in
+  let engine = Scoring.create profile in
+  let empty = { Window.obs = [||]; callers = [||] } in
+  Alcotest.(check bool) "empty window equals reference" true
+    (verdict_eq (Detector.reference_classify profile empty)
+       (Scoring.classify engine empty))
+
+let mk_event profile i =
+  {
+    Runtime.Collector.symbol =
+      profile.Profile.alphabet.(i mod Array.length profile.Profile.alphabet);
+    caller = Printf.sprintf "c%d" (i mod 4);
+    block = i;
+  }
+
+let test_stream_matches_monitor () =
+  let profile = fixed_profile () in
+  let engine = Scoring.create profile in
+  let trace = Array.init 40 (mk_event profile) in
+  let batch = List.map snd (Scoring.monitor engine trace) in
+  let stream = Scoring.Stream.create engine in
+  let live = ref [] in
+  Array.iter
+    (fun e ->
+      match Scoring.Stream.push stream e with
+      | Ok (Some v) -> live := v :: !live
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "push rejected: %s" e)
+    trace;
+  (match Scoring.Stream.flush stream with
+  | Some v -> live := v :: !live
+  | None -> ());
+  let live = List.rev !live in
+  Alcotest.(check int) "window count" (List.length batch) (List.length live);
+  List.iter2
+    (fun b l -> Alcotest.(check bool) "same verdict" true (verdict_eq b l))
+    batch live
+
+let test_stream_push_after_flush () =
+  let profile = fixed_profile () in
+  let stream = Scoring.Stream.create (Scoring.create profile) in
+  (match Scoring.Stream.push stream (mk_event profile 0) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "live push rejected: %s" e);
+  ignore (Scoring.Stream.flush stream);
+  Alcotest.(check bool) "flushed" true (Scoring.Stream.flushed stream);
+  match Scoring.Stream.push stream (mk_event profile 1) with
+  | Error _ ->
+      Alcotest.(check int) "rejected push not counted" 1
+        (Scoring.Stream.events_seen stream)
+  | Ok _ -> Alcotest.fail "push after flush must return Error"
+
+let () =
+  Alcotest.run "scoring"
+    [
+      ( "equivalence properties",
+        [
+          QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+          QCheck_alcotest.to_alcotest prop_wrapper_matches_reference;
+          QCheck_alcotest.to_alcotest prop_extend_invalidates;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "LRU eviction and counters" `Quick test_lru_eviction;
+          Alcotest.test_case "capacity 0 disables caching" `Quick test_cache_disabled;
+          Alcotest.test_case "set_threshold flushes the memo" `Quick
+            test_threshold_invalidation;
+          Alcotest.test_case "unknown symbols bypass the memo" `Quick
+            test_unknown_bypasses_memo;
+          Alcotest.test_case "empty window" `Quick test_empty_window;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "ring matches the batch loop" `Quick
+            test_stream_matches_monitor;
+          Alcotest.test_case "push after flush is a soft error" `Quick
+            test_stream_push_after_flush;
+        ] );
+    ]

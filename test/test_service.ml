@@ -172,8 +172,9 @@ let test_scorer_matches_batch () =
       Array.iter
         (fun e ->
           match Scorer.push scorer e with
-          | Some v -> live := v :: !live
-          | None -> ())
+          | Ok (Some v) -> live := v :: !live
+          | Ok None -> ()
+          | Error e -> Alcotest.failf "push rejected: %s" e)
         trace;
       (match Scorer.flush scorer with Some v -> live := v :: !live | None -> ());
       let live = List.rev !live in
@@ -199,6 +200,21 @@ let test_scorer_short_trace () =
   Alcotest.(check int) "one window" 1 (Scorer.windows_scored scorer);
   (* flush is idempotent *)
   Alcotest.(check bool) "idempotent" true (Scorer.flush scorer = None)
+
+let test_scorer_push_after_flush () =
+  let profile = profile () in
+  let scorer = Scorer.create profile in
+  (match Scorer.push scorer (mk_event "read") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "live push rejected: %s" e);
+  ignore (Scorer.flush scorer);
+  (* the protocol slip is a soft error the daemon can count, never an
+     exception that would take the whole shard down *)
+  match Scorer.push scorer (mk_event "read") with
+  | Error msg ->
+      Alcotest.(check bool) "error names the flush" true (contains ~needle:"flush" msg);
+      Alcotest.(check int) "rejected event not counted" 1 (Scorer.events_seen scorer)
+  | Ok _ -> Alcotest.fail "push after flush must return Error"
 
 (* --- daemon ------------------------------------------------------------------ *)
 
@@ -466,6 +482,8 @@ let () =
         [
           Alcotest.test_case "matches the batch loop" `Quick test_scorer_matches_batch;
           Alcotest.test_case "short traces flush one window" `Quick test_scorer_short_trace;
+          Alcotest.test_case "push after flush is a soft error" `Quick
+            test_scorer_push_after_flush;
         ] );
       ( "daemon",
         [
