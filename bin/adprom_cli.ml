@@ -272,6 +272,64 @@ let capacity_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Interleaving RNG seed.")
 
+(* --- observability flags (shared by replay / serve) -------------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable tracing and write the span tree as Chrome trace_event JSON \
+           (chrome://tracing, Perfetto) to FILE on exit.")
+
+let log_tail_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "log-tail" ] ~docv:"N"
+        ~doc:"Print the last N structured events from the daemon's per-shard rings.")
+
+let log_level_conv =
+  let parse s =
+    match Adprom_obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown log level %S" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Adprom_obs.Log.level_to_string l))
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Emit structured events at LEVEL and above (debug|info|warn|error) as JSONL \
+           on stderr. Without this flag the log sink stays off.")
+
+let obs_setup log_level trace_out =
+  (match log_level with
+  | None -> ()
+  | Some lvl ->
+      Adprom_obs.Log.set_threshold lvl;
+      Adprom_obs.Log.set_sink Adprom_obs.Log.Stderr);
+  if trace_out <> None then Adprom_obs.Trace.set_enabled true
+
+let obs_finish trace_out =
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Adprom_obs.Trace.dump_chrome path;
+      Printf.printf "\n%d spans -> %s\n" (List.length (Adprom_obs.Trace.spans ())) path
+
+let print_events_tail n (events : Adprom_obs.Log.event list) =
+  if n > 0 then begin
+    let len = List.length events in
+    let tail = List.filteri (fun i _ -> i >= len - n) events in
+    Printf.printf "\n--- recent events (%d of %d) ---\n" (List.length tail) len;
+    if tail = [] then print_endline "(none)"
+    else List.iter (fun e -> print_endline (Adprom_obs.Log.event_to_string e)) tail
+  end
+
 let print_summary ?(labels = []) (summary : Service.Daemon.summary) =
   let label s = match List.assoc_opt s labels with Some l -> l | None -> "" in
   Adprom.Report.print
@@ -299,13 +357,14 @@ let print_summary ?(labels = []) (summary : Service.Daemon.summary) =
     summary.Service.Daemon.events_offered summary.Service.Daemon.events_ingested
     summary.Service.Daemon.events_dropped
 
-let print_outcome ?labels (outcome : Service.Replay.outcome) =
+let print_outcome ?labels ?(log_tail = 0) (outcome : Service.Replay.outcome) =
   print_summary ?labels outcome.Service.Replay.summary;
   Printf.printf "\n--- incident log (%d incidents) ---\n"
     (Service.Alerts.count outcome.Service.Replay.alerts);
   (match Service.Alerts.to_string outcome.Service.Replay.alerts with
   | "" -> print_endline "(empty)"
   | log -> print_endline log);
+  print_events_tail log_tail outcome.Service.Replay.events_tail;
   Printf.printf "\n--- metrics ---\n%s" (Service.Metrics.dump outcome.Service.Replay.metrics);
   Printf.printf "\nthroughput: %.0f events/sec (%.3fs)\n"
     (Service.Replay.throughput outcome)
@@ -344,7 +403,9 @@ let record_cmd =
           stream in the daemon wire format.")
     Term.(ret (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg))
 
-let replay_cmd_run profile_path events_path shards capacity verify =
+let replay_cmd_run profile_path events_path shards capacity verify log_level log_tail
+    trace_out =
+  obs_setup log_level trace_out;
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
   | Ok profile -> (
@@ -354,7 +415,8 @@ let replay_cmd_run profile_path events_path shards capacity verify =
           let outcome =
             Service.Replay.run ~shards ~queue_capacity:capacity profile stream
           in
-          print_outcome outcome;
+          print_outcome ~log_tail outcome;
+          obs_finish trace_out;
           if verify then begin
             let mismatches =
               Service.Replay.verify_against_batch profile stream
@@ -395,9 +457,10 @@ let replay_cmd =
     Term.(
       ret
         (const replay_cmd_run $ profile_arg $ events_file_arg $ shards_arg $ capacity_arg
-       $ verify_flag))
+       $ verify_flag $ log_level_arg $ log_tail_arg $ trace_out_arg))
 
-let serve_cmd_run app_name shards capacity seed =
+let serve_cmd_run app_name shards capacity seed log_level log_tail trace_out =
+  obs_setup log_level trace_out;
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
   | Some app ->
@@ -464,7 +527,8 @@ let serve_cmd_run app_name shards capacity seed =
       let outcome =
         Service.Replay.run ~shards ~queue_capacity:capacity ~alerts profile stream
       in
-      print_outcome ~labels outcome;
+      print_outcome ~labels ~log_tail outcome;
+      obs_finish trace_out;
       `Ok ()
 
 let serve_cmd =
@@ -474,7 +538,81 @@ let serve_cmd =
          "End-to-end daemon demo: train on a built-in app, interleave its normal \
           sessions with its attack scenarios into one host stream, monitor the stream \
           online and print the unified incident log.")
-    Term.(ret (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg))
+    Term.(
+      ret
+        (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
+       $ log_level_arg $ log_tail_arg $ trace_out_arg))
+
+(* --- explain ----------------------------------------------------------- *)
+
+let explain_cmd_run profile_path events_path session window_idx top =
+  match Adprom.Profile_io.load profile_path with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
+  | Ok profile -> (
+      match Service.Codec.load events_path with
+      | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
+      | Ok stream -> (
+          match List.assoc_opt session (Adprom.Sessions.demux stream) with
+          | None -> `Error (false, Printf.sprintf "no session %d in %s" session events_path)
+          | Some trace ->
+              let engine = Adprom.Scoring.create profile in
+              let windows =
+                Adprom.Window.of_trace
+                  ~window:profile.Adprom.Profile.params.Adprom.Profile.window trace
+              in
+              let wanted i =
+                match window_idx with Some k -> i = k | None -> true
+              in
+              let explained = ref 0 in
+              List.iteri
+                (fun i w ->
+                  if wanted i then
+                    match Adprom.Scoring.explain ~top engine w with
+                    | None -> ()
+                    | Some e ->
+                        incr explained;
+                        Printf.printf "window %d: %s\n  %s\n" i
+                          (Adprom.Detector.flag_to_string
+                             e.Adprom.Scoring.verdict.Adprom.Detector.flag)
+                          (Adprom.Scoring.explanation_to_string e))
+                windows;
+              if !explained = 0 then
+                (match window_idx with
+                | Some k -> Printf.printf "window %d is normal: nothing to explain\n" k
+                | None ->
+                    Printf.printf "all %d windows normal: nothing to explain\n"
+                      (List.length windows));
+              `Ok ()))
+
+let explain_session_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "session" ] ~docv:"N" ~doc:"Session id within the event stream.")
+
+let window_index_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"K"
+        ~doc:"Explain only the K-th window (default: every anomalous window).")
+
+let top_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "top" ] ~docv:"K" ~doc:"Surprising steps to rank per explanation.")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain why windows of a recorded session are flagged: which gate fired \
+          (unknown symbol, out-of-context pair, likelihood below threshold), the \
+          threshold margin, and the most surprising steps under the profile's HMM.")
+    Term.(
+      ret
+        (const explain_cmd_run $ profile_arg $ events_file_arg $ explain_session_arg
+       $ window_index_arg $ top_arg))
 
 (* --- list-apps --------------------------------------------------------- *)
 
@@ -506,5 +644,6 @@ let () =
             record_cmd;
             replay_cmd;
             serve_cmd;
+            explain_cmd;
             list_cmd;
           ]))

@@ -8,13 +8,25 @@ type t = {
   pctm : Ctm.t;
 }
 
+module Trace_ = Adprom_obs.Trace
+
 let analyze ?(entry = "main") program =
-  let cfgs, sites = Cfg_build.build_program program in
-  let callgraph = Callgraph.build cfgs in
-  let taint = Taint.analyze cfgs in
-  let ctms = Forecast.ctms cfgs in
-  let pctm = Aggregate.program_ctm ctms callgraph ~entry in
-  { program; cfgs; callgraph; sites; taint; ctms; pctm }
+  Trace_.with_span "analysis.analyze"
+    ~attrs:(fun () -> [ ("entry", entry) ])
+    (fun () ->
+      let cfgs, sites =
+        Trace_.with_span "analysis.cfg" (fun () -> Cfg_build.build_program program)
+      in
+      let callgraph =
+        Trace_.with_span "analysis.callgraph" (fun () -> Callgraph.build cfgs)
+      in
+      let taint = Trace_.with_span "analysis.taint" (fun () -> Taint.analyze cfgs) in
+      let ctms = Trace_.with_span "analysis.forecast" (fun () -> Forecast.ctms cfgs) in
+      let pctm =
+        Trace_.with_span "analysis.ctm_aggregate" (fun () ->
+            Aggregate.program_ctm ctms callgraph ~entry)
+      in
+      { program; cfgs; callgraph; sites; taint; ctms; pctm })
 
 let labeled_block t bid = List.mem bid t.taint.Taint.labeled_blocks
 

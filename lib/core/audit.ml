@@ -12,6 +12,11 @@ let contains ~needle haystack =
   let rec probe i = i + n <= h && (String.sub haystack i n = needle || probe (i + 1)) in
   probe 0
 
+let finding_to_string = function
+  | Unknown_query_signature s -> Printf.sprintf "unknown query signature: %s" s
+  | Tainted_file_command { path; command } ->
+      Printf.sprintf "command %S touches labeled file %s" command path
+
 let audit ~qsig (outcome : Runtime.Interp.outcome) =
   let query_findings =
     List.map
@@ -29,9 +34,18 @@ let audit ~qsig (outcome : Runtime.Interp.outcome) =
           outcome.Runtime.Interp.tainted_files)
       outcome.Runtime.Interp.system_calls
   in
-  query_findings @ file_findings
-
-let finding_to_string = function
-  | Unknown_query_signature s -> Printf.sprintf "unknown query signature: %s" s
-  | Tainted_file_command { path; command } ->
-      Printf.sprintf "command %S touches labeled file %s" command path
+  let findings = query_findings @ file_findings in
+  List.iter
+    (fun f ->
+      Adprom_obs.Log.emit Adprom_obs.Log.Warn ~scope:"audit"
+        ~fields:
+          [
+            ( "kind",
+              Adprom_obs.Log.Str
+                (match f with
+                | Unknown_query_signature _ -> "unknown_query_signature"
+                | Tainted_file_command _ -> "tainted_file_command") );
+          ]
+        (finding_to_string f))
+    findings;
+  findings

@@ -13,8 +13,17 @@ type dataset = {
   windows : Window.t list;
 }
 
+module Otrace = Adprom_obs.Trace
+
 let analyze_app app =
-  Analysis.Analyzer.analyze (Applang.Parser.parse_program app.source)
+  Otrace.with_span "pipeline.analyze_app"
+    ~attrs:(fun () -> [ ("app", app.name) ])
+    (fun () ->
+      let program =
+        Otrace.with_span "applang.parse" (fun () ->
+            Applang.Parser.parse_program app.source)
+      in
+      Analysis.Analyzer.analyze program)
 
 let fresh_engine app =
   let engine = Sqldb.Engine.create () in
@@ -27,12 +36,18 @@ let run_case ?(patches = []) ?query_rewriter ?analysis app tc =
     ~engine:(fresh_engine app) tc
 
 let collect ?(window = 15) app =
+  Otrace.with_span "pipeline.collect"
+    ~attrs:(fun () ->
+      [ ("app", app.name); ("cases", string_of_int (List.length app.test_cases)) ])
+  @@ fun () ->
   let analysis = analyze_app app in
   let traces =
-    List.map (fun tc -> (tc, fst (run_case ~analysis app tc))) app.test_cases
+    Otrace.with_span "pipeline.run_cases" (fun () ->
+        List.map (fun tc -> (tc, fst (run_case ~analysis app tc))) app.test_cases)
   in
   let windows =
-    List.concat_map (fun (_, trace) -> Window.of_trace ~window trace) traces
+    Otrace.with_span "pipeline.windows" (fun () ->
+        List.concat_map (fun (_, trace) -> Window.of_trace ~window trace) traces)
   in
   { app; analysis; traces; windows }
 

@@ -1,5 +1,6 @@
 module Symbol = Analysis.Symbol
 module Ctm = Analysis.Ctm
+module Otrace = Adprom_obs.Trace
 
 type init_kind =
   | Init_pctm
@@ -79,6 +80,9 @@ let mean_score model weighted =
   if !den = 0.0 then neg_infinity else !num /. !den
 
 let train ?(params = default_params) ~analysis windows =
+  Otrace.with_span "profile.train"
+    ~attrs:(fun () -> [ ("windows", string_of_int (List.length windows)) ])
+  @@ fun () ->
   let pctm =
     if params.use_labels then analysis.Analysis.Analyzer.pctm
     else Ctm.map_symbols Symbol.strip_label analysis.Analysis.Analyzer.pctm
@@ -94,15 +98,20 @@ let train ?(params = default_params) ~analysis windows =
   let index s = Symbol.Table.find_opt obs_index s in
   let rng = Mlkit.Rng.create params.seed in
   let clustering =
-    Reduction.cluster ~rng ~max_states:params.max_states
-      ~cluster_fraction:params.cluster_fraction ~pca_variance:params.pca_variance pctm
+    Otrace.with_span "profile.cluster"
+      ~attrs:(fun () -> [ ("sites", string_of_int (List.length (Ctm.calls pctm))) ])
+      (fun () ->
+        Reduction.cluster ~rng ~max_states:params.max_states
+          ~cluster_fraction:params.cluster_fraction ~pca_variance:params.pca_variance
+          pctm)
   in
   let model0 =
-    match params.init with
-    | Init_pctm -> Reduction.init_hmm pctm clustering ~alphabet
-    | Init_random ->
-        let n = max 2 clustering.Reduction.states in
-        Hmm.random ~rng ~n ~m:(Array.length alphabet)
+    Otrace.with_span "profile.init_hmm" (fun () ->
+        match params.init with
+        | Init_pctm -> Reduction.init_hmm pctm clustering ~alphabet
+        | Init_random ->
+            let n = max 2 clustering.Reduction.states in
+            Hmm.random ~rng ~n ~m:(Array.length alphabet))
   in
   (* Hold 1/5 aside as the convergence sub-dataset. *)
   let shuffled =
@@ -132,9 +141,23 @@ let train ?(params = default_params) ~analysis windows =
   let model = ref model0 in
   while !rounds < params.max_rounds && !no_improvement < params.patience do
     incr rounds;
-    let next, _ = Hmm.baum_welch_step !model train_weighted in
+    let csds_trace = ref nan in
+    let next =
+      (* one span per Baum-Welch round: the CSDS log-likelihood
+         trajectory, readable straight off the trace dump *)
+      Otrace.with_span "profile.bw_round"
+        ~attrs:(fun () ->
+          [
+            ("round", string_of_int !rounds);
+            ("csds_score", Printf.sprintf "%.6f" !csds_trace);
+          ])
+        (fun () ->
+          let next, _ = Hmm.baum_welch_step !model train_weighted in
+          csds_trace := mean_score next csds_weighted;
+          next)
+    in
     model := next;
-    let s = mean_score next csds_weighted in
+    let s = !csds_trace in
     history := s :: !history;
     if s > !best_score +. 1e-6 then begin
       best_score := s;
@@ -144,13 +167,14 @@ let train ?(params = default_params) ~analysis windows =
     else incr no_improvement
   done;
   let final_model = !best_model in
-  let all_scores =
-    List.map
-      (fun (codes, _) -> Hmm.per_symbol_score final_model codes)
-      (train_weighted @ csds_weighted)
-  in
   let threshold =
-    Threshold.select params.threshold_strategy (Array.of_list all_scores)
+    Otrace.with_span "profile.threshold" (fun () ->
+        let all_scores =
+          List.map
+            (fun (codes, _) -> Hmm.per_symbol_score final_model codes)
+            (train_weighted @ csds_weighted)
+        in
+        Threshold.select params.threshold_strategy (Array.of_list all_scores))
   in
   let known_pairs = Hashtbl.create 256 in
   List.iter
@@ -172,6 +196,9 @@ let prepare t w = if t.params.use_labels then w else Window.strip_labels w
 
 let extend t windows =
   if windows = [] then invalid_arg "Profile.extend: no windows";
+  Otrace.with_span "profile.extend"
+    ~attrs:(fun () -> [ ("windows", string_of_int (List.length windows)) ])
+  @@ fun () ->
   let windows =
     if t.params.use_labels then windows else List.map Window.strip_labels windows
   in

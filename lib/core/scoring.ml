@@ -282,6 +282,112 @@ let monitor t trace =
     (fun w -> (w, classify t w))
     (Window.of_trace ~window:t.profile.Profile.params.Profile.window trace)
 
+(* --- verdict explainability -------------------------------------------- *)
+
+type gate =
+  | Unknown_symbol
+  | Unknown_pair of (string * Symbol.t)
+  | Below_threshold
+
+type contribution = {
+  position : int;
+  symbol : Symbol.t;
+  caller : string;
+  surprisal : float;
+}
+
+type explanation = {
+  gate : gate;
+  verdict : verdict;
+  exp_threshold : float;
+  margin : float;
+  top : contribution list;
+}
+
+let gate_to_string = function
+  | Unknown_symbol -> "unknown-symbol"
+  | Unknown_pair (caller, sym) ->
+      Printf.sprintf "unknown-pair(%s from %s)" (Symbol.to_string sym) caller
+  | Below_threshold -> "below-threshold"
+
+let explain ?(top = 3) t window =
+  let v = classify t window in
+  if v.flag = Normal then None
+  else begin
+    let w = Profile.prepare t.profile window in
+    let n = Array.length w.Window.obs in
+    let surprisals =
+      if n = 0 then [||]
+      else
+        match
+          Window.encode ~index:(Symbol.Table.find_opt t.profile.Profile.obs_index) w
+        with
+        | Some codes -> Hmm.step_surprisals t.profile.Profile.model codes
+        | None ->
+            (* unknown symbols dominate: infinite surprisal, known
+               positions fall back to zero so the unknowns rank first *)
+            Array.init n (fun i ->
+                if Symbol.Table.mem t.profile.Profile.obs_index w.Window.obs.(i)
+                then 0.0
+                else infinity)
+    in
+    let entries =
+      List.init n (fun i ->
+          {
+            position = i;
+            symbol = w.Window.obs.(i);
+            caller = w.Window.callers.(i);
+            surprisal = surprisals.(i);
+          })
+    in
+    let sorted =
+      List.stable_sort (fun a b -> compare b.surprisal a.surprisal) entries
+    in
+    let gate =
+      if v.unknown_symbol then Unknown_symbol
+      else
+        match v.unknown_pair with
+        | Some p -> Unknown_pair p
+        | None -> Below_threshold
+    in
+    let margin =
+      (* distance past the gate that fired: how far below threshold the
+         likelihood fell, or infinite for the categorical gates — so an
+         explanation's margin is always non-negative *)
+      match gate with
+      | Below_threshold -> t.threshold -. v.score
+      | Unknown_symbol | Unknown_pair _ -> infinity
+    in
+    Some
+      {
+        gate;
+        verdict = v;
+        exp_threshold = t.threshold;
+        margin;
+        top = List.filteri (fun i _ -> i < top) sorted;
+      }
+  end
+
+let float_str f =
+  if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else Printf.sprintf "%.3f" f
+
+let explanation_to_string e =
+  Printf.sprintf "gate=%s score=%s threshold=%s margin=%s%s"
+    (gate_to_string e.gate) (float_str e.verdict.score) (float_str e.exp_threshold)
+    (float_str e.margin)
+    (match e.top with
+    | [] -> ""
+    | top ->
+        Printf.sprintf " top=[%s]"
+          (String.concat "; "
+             (List.map
+                (fun c ->
+                  Printf.sprintf "%s@%d from %s: %s" (Symbol.to_string c.symbol)
+                    c.position c.caller (float_str c.surprisal))
+                top)))
+
 let extend t windows =
   create ~cache_capacity:t.cache.capacity (Profile.extend t.profile windows)
 
@@ -444,5 +550,30 @@ module Stream = struct
       st.is_flushed <- true;
       if st.pushed > 0 && st.pushed < st.window then Some (classify_last st st.pushed)
       else None
+    end
+
+  (* Rebuild the window that [classify_last] most recently scored —
+     either the full ring (steady state) or the short flush window —
+     and run the batch explainer on it. The symbols in the ring are
+     already prepared (observable, labels per [use_labels]), and
+     [Profile.prepare] is idempotent on prepared windows. *)
+  let explain_last ?top st =
+    let len =
+      if st.pushed >= st.window then st.window
+      else if st.is_flushed then st.pushed
+      else 0
+    in
+    if len = 0 then None
+    else begin
+      let start = st.pushed - len in
+      let slot i = (start + i) mod st.window in
+      let w =
+        Window.
+          {
+            obs = Array.init len (fun i -> st.s_syms.(slot i));
+            callers = Array.init len (fun i -> st.s_callers.(slot i));
+          }
+      in
+      explain ?top st.eng w
     end
 end

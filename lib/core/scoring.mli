@@ -68,6 +68,48 @@ val monitor : t -> Runtime.Collector.trace -> (Window.t * verdict) list
 (** Slide the profile's window over a trace and classify each position
     — the batch detection loop, memoized. *)
 
+(** {1 Verdict explainability}
+
+    Why was a window flagged? {!explain} names the gate that fired and
+    ranks the surprising steps, so an incident can be triaged without
+    re-deriving the model's view of the window. Computed only on
+    anomalous verdicts — the hot path never pays for it. *)
+
+type gate =
+  | Unknown_symbol  (** a call outside the training alphabet *)
+  | Unknown_pair of (string * Analysis.Symbol.t)
+      (** a known call from a caller never seen issuing it *)
+  | Below_threshold  (** HMM likelihood under the detection threshold *)
+
+type contribution = {
+  position : int;  (** index within the window *)
+  symbol : Analysis.Symbol.t;
+  caller : string;
+  surprisal : float;
+      (** [-log P(o_i | o_0..o_{i-1})] under the profile's HMM;
+          [infinity] for symbols outside the alphabet *)
+}
+
+type explanation = {
+  gate : gate;  (** the highest-priority gate that fired *)
+  verdict : verdict;
+  exp_threshold : float;  (** threshold in force when classified *)
+  margin : float;
+      (** how decisively the gate fired: [threshold -. score] (strictly
+          positive) for {!Below_threshold}, [infinity] for the
+          categorical gates — always non-negative *)
+  top : contribution list;  (** most surprising steps, descending *)
+}
+
+val explain : ?top:int -> t -> Window.t -> explanation option
+(** [None] exactly when {!classify} returns [Normal]. Gate priority:
+    [Unknown_symbol] over [Unknown_pair] over [Below_threshold]. [top]
+    (default 3) bounds the ranked contributions. Costs one extra
+    forward pass over the window — only ever paid on anomalies. *)
+
+val gate_to_string : gate -> string
+val explanation_to_string : explanation -> string
+
 val extend : t -> Window.t list -> t
 (** [Profile.extend] then recompile: the new engine starts with an
     empty memo, so no verdict of the old model can leak past the
@@ -112,4 +154,9 @@ module Stream : sig
 
   val events_seen : t -> int
   val flushed : t -> bool
+
+  val explain_last : ?top:int -> t -> explanation option
+  (** Explain the window most recently scored by {!push} (the full
+      ring) or {!flush} (the short tail). [None] if that window was
+      [Normal], or if nothing has been classified yet. *)
 end

@@ -432,10 +432,29 @@ let fit ?(max_iterations = 50) ?(tolerance = 1e-4) t weighted =
   let rec loop model prev_ll history iter =
     if iter >= max_iterations then (model, List.rev history)
     else
-      let model', ll = baum_welch_step model weighted in
+      let ll_trace = ref nan in
+      let model', ll =
+        Adprom_obs.Trace.with_span "hmm.bw_iter"
+          ~attrs:(fun () ->
+            [
+              ("iteration", string_of_int iter);
+              ("log_likelihood", Printf.sprintf "%.6f" !ll_trace);
+            ])
+          (fun () ->
+            let r = baum_welch_step model weighted in
+            ll_trace := snd r;
+            r)
+      in
       let history = ll :: history in
       match prev_ll with
       | Some p when ll -. p < scaled_tol -> (model', List.rev history)
       | Some _ | None -> loop model' (Some ll) history (iter + 1)
   in
-  loop t None [] 0
+  Adprom_obs.Trace.with_span "hmm.fit"
+    ~attrs:(fun () ->
+      [
+        ("sequences", string_of_int (List.length weighted));
+        ("states", string_of_int t.n);
+        ("symbols", string_of_int t.m);
+      ])
+    (fun () -> loop t None [] 0)

@@ -1,0 +1,16 @@
+(** Minimal JSON emission helpers shared by the event log and the
+    Chrome trace export. Emission only — nothing here parses. *)
+
+val escape : string -> string
+(** JSON string escaping (quotes, backslash, control characters),
+    without the surrounding quotes. *)
+
+val string : string -> string
+(** A quoted, escaped JSON string literal. *)
+
+val float : float -> string
+(** A JSON-safe number: non-finite floats become the strings
+    ["inf"], ["-inf"], ["nan"] (JSON has no literals for them). *)
+
+val obj : (string * string) list -> string
+(** [obj fields] where each value is already rendered JSON. *)

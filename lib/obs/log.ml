@@ -1,0 +1,113 @@
+type level =
+  | Debug
+  | Info
+  | Warn
+  | Error
+
+let level_index = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+type event = {
+  time : float;
+  level : level;
+  scope : string;
+  message : string;
+  fields : (string * value) list;
+}
+
+let value_to_json = function
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Json.float f
+  | Str s -> Json.string s
+
+let event_to_json e =
+  Json.obj
+    ([
+       ("ts", Printf.sprintf "%.6f" e.time);
+       ("level", Json.string (level_to_string e.level));
+       ("scope", Json.string e.scope);
+       ("msg", Json.string e.message);
+     ]
+    @ List.map (fun (k, v) -> (k, value_to_json v)) e.fields)
+
+let value_to_string = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let event_to_string e =
+  Printf.sprintf "%-5s %s: %s%s"
+    (String.uppercase_ascii (level_to_string e.level))
+    e.scope e.message
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (value_to_string v)) e.fields))
+
+type sink =
+  | Null
+  | Stderr
+  | Channel of out_channel
+
+(* The threshold is read on the hot path without the mutex: a stale
+   read drops or keeps a borderline event, never corrupts anything. *)
+let threshold_ref = Atomic.make (level_index Info)
+let sink_mutex = Mutex.create ()
+let sink_ref = ref Null
+
+let set_sink s =
+  Mutex.lock sink_mutex;
+  sink_ref := s;
+  Mutex.unlock sink_mutex
+
+let to_file path = set_sink (Channel (open_out_gen [ Open_append; Open_creat ] 0o644 path))
+
+let set_threshold l = Atomic.set threshold_ref (level_index l)
+
+let threshold () =
+  match Atomic.get threshold_ref with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let enabled l = level_index l >= Atomic.get threshold_ref
+
+let write_sink e =
+  Mutex.lock sink_mutex;
+  (match !sink_ref with
+  | Null -> ()
+  | Stderr ->
+      output_string stderr (event_to_json e);
+      output_char stderr '\n';
+      flush stderr
+  | Channel oc ->
+      output_string oc (event_to_json e);
+      output_char oc '\n';
+      flush oc);
+  Mutex.unlock sink_mutex
+
+let emit ?ring ?(fields = []) level ~scope message =
+  if enabled level then begin
+    let e = { time = Unix.gettimeofday (); level; scope; message; fields } in
+    (match ring with Some r -> Ring.push r e | None -> ());
+    write_sink e
+  end

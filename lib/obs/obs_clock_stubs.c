@@ -1,0 +1,43 @@
+/* Monotonic clock for span timing: CLOCK_MONOTONIC when available,
+   falling back to gettimeofday on platforms without it. Exposed both
+   boxed and unboxed so the common native call allocates nothing. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+int64_t adprom_obs_monotonic_ns(value unit)
+{
+  LARGE_INTEGER freq, now;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return (int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+int64_t adprom_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+  }
+}
+#endif
+
+CAMLprim value adprom_obs_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(adprom_obs_monotonic_ns(unit));
+}

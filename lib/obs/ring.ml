@@ -1,0 +1,32 @@
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable next : int;  (* total pushes; next mod cap is the write slot *)
+}
+
+let create cap =
+  if cap < 0 then invalid_arg "Ring.create: negative capacity";
+  { buf = Array.make (max cap 1) None; cap; next = 0 }
+
+let capacity t = t.cap
+let pushed t = t.next
+let length t = min t.next t.cap
+
+let push t x =
+  if t.cap > 0 then begin
+    t.buf.(t.next mod t.cap) <- Some x;
+    t.next <- t.next + 1
+  end
+  else t.next <- t.next + 1
+
+let to_list t =
+  let n = length t in
+  let start = t.next - n in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0

@@ -1,0 +1,29 @@
+(** A bounded ring of the most recent values — the in-memory tail the
+    daemon keeps per shard so a crash or shutdown can show "the last N
+    things that happened here" without unbounded memory.
+
+    Not synchronized: a ring belongs to one writer (e.g. one shard
+    worker); read it after the writer has stopped, or from the writer
+    itself. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** A ring keeping the last [capacity] pushes. [create 0] is a valid
+    ring that discards everything.
+    @raise Invalid_argument on a negative capacity. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Values currently retained, [<= capacity]. *)
+
+val pushed : 'a t -> int
+(** Total pushes ever, including the ones that have rotated out. *)
+
+val push : 'a t -> 'a -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained values, oldest first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,168 @@
+type span = {
+  name : string;
+  trace_id : int;
+  span_id : int;
+  parent : int option;
+  domain : int;
+  start_ns : int64;
+  dur_ns : int64;
+  attrs : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let next_id = Atomic.make 1
+
+(* Per-domain stack of open spans: (trace_id, span_id), innermost
+   first. *)
+let context : (int * int) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current_trace_id () =
+  match !(Domain.DLS.get context) with [] -> None | (tid, _) :: _ -> Some tid
+
+let current_span_id () =
+  match !(Domain.DLS.get context) with [] -> None | (_, sid) :: _ -> Some sid
+
+(* Finished spans: a bounded ring plus the hook list, one mutex. *)
+let mutex = Mutex.create ()
+let ring = ref (Ring.create 65536)
+
+type hook = int
+
+let hooks : (int * (span -> unit)) list ref = ref []
+let next_hook = ref 0
+
+let set_capacity n =
+  Mutex.lock mutex;
+  (match Ring.create n with
+  | r -> ring := r
+  | exception e ->
+      Mutex.unlock mutex;
+      raise e);
+  Mutex.unlock mutex
+
+let spans () =
+  Mutex.lock mutex;
+  let l = Ring.to_list !ring in
+  Mutex.unlock mutex;
+  l
+
+let span_count () =
+  Mutex.lock mutex;
+  let n = Ring.pushed !ring in
+  Mutex.unlock mutex;
+  n
+
+let clear () =
+  Mutex.lock mutex;
+  Ring.clear !ring;
+  Mutex.unlock mutex
+
+let on_span_end f =
+  Mutex.lock mutex;
+  incr next_hook;
+  let id = !next_hook in
+  hooks := (id, f) :: !hooks;
+  Mutex.unlock mutex;
+  id
+
+let remove_hook id =
+  Mutex.lock mutex;
+  hooks := List.filter (fun (i, _) -> i <> id) !hooks;
+  Mutex.unlock mutex
+
+let record sp =
+  Mutex.lock mutex;
+  Ring.push !ring sp;
+  let hs = !hooks in
+  Mutex.unlock mutex;
+  List.iter
+    (fun (id, f) -> try f sp with _ -> remove_hook id)
+    hs
+
+let with_span ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get context in
+    let parent, trace_id, span_id =
+      let sid = Atomic.fetch_and_add next_id 1 in
+      match !stack with
+      | [] -> (None, sid, sid)
+      | (tid, psid) :: _ -> (Some psid, tid, sid)
+    in
+    stack := (trace_id, span_id) :: !stack;
+    let t0 = Clock.monotonic_ns () in
+    let finish () =
+      let dur = Int64.sub (Clock.monotonic_ns ()) t0 in
+      (stack :=
+         match !stack with
+         | (_, sid) :: rest when sid = span_id -> rest
+         | other -> other (* a thunk that unwound the stack itself *));
+      let attrs =
+        match attrs with None -> [] | Some f -> ( try f () with _ -> [])
+      in
+      record
+        {
+          name;
+          trace_id;
+          span_id;
+          parent;
+          domain = (Domain.self () :> int);
+          start_ns = t0;
+          dur_ns = dur;
+          attrs;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* --- Chrome trace_event export ----------------------------------------- *)
+
+let to_chrome_json spans =
+  let epoch =
+    List.fold_left
+      (fun acc sp -> if sp.start_ns < acc then sp.start_ns else acc)
+      (match spans with [] -> 0L | sp :: _ -> sp.start_ns)
+      spans
+  in
+  let us ns = Int64.to_float ns /. 1e3 in
+  let event sp =
+    let args =
+      [
+        ("trace_id", Json.string (string_of_int sp.trace_id));
+        ("span_id", Json.string (string_of_int sp.span_id));
+      ]
+      @ (match sp.parent with
+        | Some p -> [ ("parent", Json.string (string_of_int p)) ]
+        | None -> [])
+      @ List.map (fun (k, v) -> (k, Json.string v)) sp.attrs
+    in
+    Json.obj
+      [
+        ("name", Json.string sp.name);
+        ("cat", Json.string "adprom");
+        ("ph", Json.string "X");
+        ("pid", "1");
+        ("tid", string_of_int sp.domain);
+        ("ts", Printf.sprintf "%.3f" (us (Int64.sub sp.start_ns epoch)));
+        ("dur", Printf.sprintf "%.3f" (us sp.dur_ns));
+        ("args", Json.obj args);
+      ]
+  in
+  "{\"traceEvents\":[\n"
+  ^ String.concat ",\n" (List.map event spans)
+  ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let dump_chrome path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json (spans ()));
+  close_out oc

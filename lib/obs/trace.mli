@@ -1,0 +1,79 @@
+(** Hierarchical tracing: spans with monotonic-clock timing, trace /
+    span ids and per-domain context, near-zero-cost when disabled.
+
+    A span covers the execution of a thunk ({!with_span}). Spans nest
+    through a per-domain context stack: a span opened while another is
+    running becomes its child and inherits its trace id; a span opened
+    with an empty stack roots a fresh trace. When tracing is disabled
+    (the default) [with_span] is one atomic load and a tail call — no
+    ids, no clock reads, no allocation — so instrumentation can stay
+    in production code.
+
+    Finished spans land in a bounded global buffer (completion order)
+    and are fanned out to registered {!on_span_end} hooks — the daemon
+    uses one to export span durations into its metrics histograms.
+    {!to_chrome_json} renders spans in the Chrome [trace_event] format
+    ([chrome://tracing], Perfetto). *)
+
+type span = {
+  name : string;
+  trace_id : int;  (** id of the root span of this trace *)
+  span_id : int;  (** unique across the process *)
+  parent : int option;  (** enclosing span id, [None] for roots *)
+  domain : int;  (** domain that ran the span *)
+  start_ns : int64;  (** {!Clock.monotonic_ns} at entry *)
+  dur_ns : int64;
+  attrs : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+(** Also the off switch for {!on_span_end} hooks. Disabling does not
+    drop already collected spans. *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** Run the thunk under a span. [attrs] is evaluated once, after the
+    thunk finishes (so it can report results via a ref) and only when
+    tracing is enabled; if it raises, the span keeps empty attrs. The
+    span is recorded even when the thunk raises, and the exception is
+    re-raised. *)
+
+val current_trace_id : unit -> int option
+(** The trace id of the innermost open span on this domain, if any —
+    what log events and collector tags join traces on. *)
+
+val current_span_id : unit -> int option
+
+val set_capacity : int -> unit
+(** Bound on retained finished spans (default 65536, oldest dropped
+    first). Resetting the capacity clears collected spans.
+    @raise Invalid_argument on a negative capacity. *)
+
+val spans : unit -> span list
+(** Retained finished spans, completion order. *)
+
+val span_count : unit -> int
+(** Spans finished since the last {!clear}, including any that
+    rotated out of the bounded buffer. *)
+
+val clear : unit -> unit
+(** Drop collected spans (ids keep increasing; hooks stay). *)
+
+type hook
+
+val on_span_end : (span -> unit) -> hook
+(** Called for every finished span while tracing is enabled, on the
+    domain that ran the span, outside any internal lock. A raising
+    hook is disabled permanently. *)
+
+val remove_hook : hook -> unit
+
+val to_chrome_json : span list -> string
+(** Chrome [trace_event] JSON: one complete event (["ph":"X"]) per
+    span, timestamps in microseconds relative to the earliest span,
+    [tid] = domain, span/trace/parent ids and attrs under ["args"]. *)
+
+val dump_chrome : string -> unit
+(** Write [to_chrome_json (spans ())] to a file. *)

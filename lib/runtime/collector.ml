@@ -27,6 +27,33 @@ let adprom () =
   let trace () = Array.of_list (List.rev !events) in
   ({ emit }, trace)
 
+let with_obs ?session ?ring inner =
+  let emit ~symbol ~caller ~block ~args =
+    inner.emit ~symbol ~caller ~block ~args;
+    if Adprom_obs.Log.enabled Adprom_obs.Log.Debug then begin
+      let fields =
+        [
+          ("symbol", Adprom_obs.Log.Str (Analysis.Symbol.to_string symbol));
+          ("caller", Adprom_obs.Log.Str caller);
+          ("block", Adprom_obs.Log.Int block);
+        ]
+      in
+      let fields =
+        match session with
+        | Some s -> ("session", Adprom_obs.Log.Int s) :: fields
+        | None -> fields
+      in
+      let fields =
+        match Adprom_obs.Trace.current_trace_id () with
+        | Some tid -> ("trace_id", Adprom_obs.Log.Int tid) :: fields
+        | None -> fields
+      in
+      Adprom_obs.Log.emit ?ring ~fields Adprom_obs.Log.Debug ~scope:"collector"
+        "library call"
+    end
+  in
+  { emit }
+
 let symbols_of_trace trace = Array.map (fun e -> e.symbol) trace
 
 let pp_trace ppf trace =

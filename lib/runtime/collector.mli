@@ -29,6 +29,14 @@ val adprom : unit -> t * (unit -> trace)
 (** AD-PROM's collector: interns symbols and appends (symbol, caller)
     pairs; the second component returns the trace collected so far. *)
 
+val with_obs :
+  ?session:int -> ?ring:Adprom_obs.Log.event Adprom_obs.Ring.t -> t -> t
+(** Wrap a collector so every reported call is also emitted as a
+    [Debug] event on the structured log (and into [ring], if given),
+    tagged with the session id and the current trace id — the joining
+    keys between a collected trace and the span tree that produced it.
+    Free when the log threshold is above [Debug]. *)
+
 val symbols_of_trace : trace -> Analysis.Symbol.t array
 
 val pp_trace : Format.formatter -> trace -> unit

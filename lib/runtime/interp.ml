@@ -250,5 +250,12 @@ let run ?(collector = Collector.null) ?(patches = []) ?(max_steps = 1_000_000)
 
 let collect_trace ?patches ?max_steps ?query_rewriter ~analysis ~engine tc =
   let collector, trace = Collector.adprom () in
-  let outcome = run ~collector ?patches ?max_steps ?query_rewriter ~analysis ~engine tc in
+  (* with_obs is free unless the log threshold is lowered to Debug *)
+  let collector = Collector.with_obs collector in
+  let outcome =
+    Adprom_obs.Trace.with_span "runtime.collect_trace"
+      ~attrs:(fun () -> [ ("case", tc.Testcase.name) ])
+      (fun () ->
+        run ~collector ?patches ?max_steps ?query_rewriter ~analysis ~engine tc)
+  in
   (trace (), outcome)

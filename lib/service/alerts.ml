@@ -2,7 +2,11 @@ module Detector = Adprom.Detector
 module Audit = Adprom.Audit
 
 type source =
-  | Verdict of { window_index : int; verdict : Detector.verdict }
+  | Verdict of {
+      window_index : int;
+      verdict : Detector.verdict;
+      explanation : Adprom.Scoring.explanation option;
+    }
   | Finding of Audit.finding
 
 type incident = { seq : int; time : float; session : int; source : source }
@@ -25,10 +29,10 @@ let record t ~session source =
   t.incidents_rev <- incident :: t.incidents_rev;
   Mutex.unlock t.mutex
 
-let record_verdict t ~session ~window_index verdict =
+let record_verdict ?explanation t ~session ~window_index verdict =
   match verdict.Detector.flag with
   | Detector.Data_leak | Detector.Out_of_context ->
-      record t ~session (Verdict { window_index; verdict });
+      record t ~session (Verdict { window_index; verdict; explanation });
       true
   | Detector.Normal | Detector.Anomalous -> false
 
@@ -47,8 +51,8 @@ let count t =
   n
 
 let source_to_string = function
-  | Verdict { window_index; verdict } ->
-      Printf.sprintf "%s window=%d score=%s%s"
+  | Verdict { window_index; verdict; explanation } ->
+      Printf.sprintf "%s window=%d score=%s%s%s"
         (Detector.flag_to_string verdict.Detector.flag)
         window_index
         (if Float.is_finite verdict.Detector.score then
@@ -58,6 +62,10 @@ let source_to_string = function
         | Some (caller, sym) ->
             Printf.sprintf " (out of context: %s from %s)"
               (Analysis.Symbol.to_string sym) caller
+        | None -> "")
+        (match explanation with
+        | Some e ->
+            Printf.sprintf " [%s]" (Adprom.Scoring.explanation_to_string e)
         | None -> "")
   | Finding f -> Audit.finding_to_string f
 

@@ -8,7 +8,13 @@
     sequence number assigned at record time. *)
 
 type source =
-  | Verdict of { window_index : int; verdict : Adprom.Detector.verdict }
+  | Verdict of {
+      window_index : int;
+      verdict : Adprom.Detector.verdict;
+      explanation : Adprom.Scoring.explanation option;
+          (** why the gate fired — attached by the daemon for every
+              recorded verdict, rendered by {!incident_to_string} *)
+    }
   | Finding of Adprom.Audit.finding
 
 type incident = { seq : int; time : float; session : int; source : source }
@@ -19,7 +25,12 @@ val create : ?clock:(unit -> float) -> unit -> t
 (** [clock] defaults to [Unix.gettimeofday] (injectable for tests). *)
 
 val record_verdict :
-  t -> session:int -> window_index:int -> Adprom.Detector.verdict -> bool
+  ?explanation:Adprom.Scoring.explanation ->
+  t ->
+  session:int ->
+  window_index:int ->
+  Adprom.Detector.verdict ->
+  bool
 (** Record the verdict if its flag is [Data_leak] or [Out_of_context];
     returns whether an incident was logged ([Normal]/[Anomalous] are
     the detector's business, not the administrator's queue). *)

@@ -1,6 +1,9 @@
 module Detector = Adprom.Detector
 module Profile = Adprom.Profile
 module Scoring = Adprom.Scoring
+module Otrace = Adprom_obs.Trace
+module Olog = Adprom_obs.Log
+module Oring = Adprom_obs.Ring
 
 type message =
   | Event of Codec.event
@@ -46,6 +49,8 @@ type t = {
   workers : shard_result Domain.t array;
   metrics : Metrics.t;
   alerts : Alerts.t;
+  rings : Olog.event Oring.t array;  (* recent events, one ring per shard *)
+  span_hook : Otrace.hook;
   (* ingestion front-end state: one acceptor thread *)
   shed_at_door : (int, int ref) Hashtbl.t;  (* session -> events dropped *)
   mutable offered : int;
@@ -74,7 +79,7 @@ let flag_counter_names =
 
 let shard_of t session = Hashtbl.hash session mod Array.length t.shards
 
-let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
+let worker ~idx ~profile ~keep_verdicts ~metrics ~alerts ~ring shard =
   (* one compiled engine per worker domain: every session of this shard
      shares its interned tables and verdict memo *)
   let engine = Scoring.create profile in
@@ -102,10 +107,30 @@ let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
   let account session scorer verdict =
     Metrics.incr c_windows;
     Metrics.incr c_flags.(flag_severity verdict.Detector.flag);
-    ignore
-      (Alerts.record_verdict alerts ~session
-         ~window_index:(Scorer.windows_scored scorer - 1)
-         verdict)
+    match verdict.Detector.flag with
+    | Detector.Normal | Detector.Anomalous -> ()
+    | Detector.Data_leak | Detector.Out_of_context ->
+        (* actionable verdict: pay for the explanation (one extra
+           forward pass) and an event on the shard's recent-events ring
+           — both off the Normal fast path *)
+        let explanation = Scorer.explain_last scorer in
+        ignore
+          (Alerts.record_verdict ?explanation alerts ~session
+             ~window_index:(Scorer.windows_scored scorer - 1)
+             verdict);
+        if Olog.enabled Olog.Warn then
+          Olog.emit ~ring Olog.Warn ~scope:"daemon"
+            ~fields:
+              ([
+                 ("shard", Olog.Int idx);
+                 ("session", Olog.Int session);
+                 ("flag", Olog.Str (Detector.flag_to_string verdict.Detector.flag));
+               ]
+              @
+              match explanation with
+              | Some e -> [ ("gate", Olog.Str (Scoring.gate_to_string e.Scoring.gate)) ]
+              | None -> [])
+            "incident"
   in
   let handle = function
     | Event { Codec.session; event } ->
@@ -137,16 +162,30 @@ let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
         Hashtbl.replace shed_here session ()
   in
   let rec loop () =
-    Mutex.lock shard.mutex;
-    while Queue.is_empty shard.queue && not shard.closed do
-      Condition.wait shard.nonempty shard.mutex
-    done;
-    let batch = Queue.create () in
-    Queue.transfer shard.queue batch;
-    let finished = shard.closed && Queue.is_empty batch in
-    Metrics.set_gauge shard.depth 0;
-    Mutex.unlock shard.mutex;
-    Queue.iter handle batch;
+    let batch, finished =
+      (* the queue-wait span covers blocking in [Condition.wait]: under
+         tracing, long waits show up as long spans, not as gaps *)
+      Otrace.with_span "daemon.queue_wait"
+        ~attrs:(fun () -> [ ("shard", string_of_int idx) ])
+        (fun () ->
+          Mutex.lock shard.mutex;
+          while Queue.is_empty shard.queue && not shard.closed do
+            Condition.wait shard.nonempty shard.mutex
+          done;
+          let batch = Queue.create () in
+          Queue.transfer shard.queue batch;
+          let finished = shard.closed && Queue.is_empty batch in
+          Metrics.set_gauge shard.depth 0;
+          Mutex.unlock shard.mutex;
+          (batch, finished))
+    in
+    (* batch-granularity span: per-event spans would dominate the push
+       itself; per-event latency is already in the latency histogram *)
+    if not (Queue.is_empty batch) then
+      Otrace.with_span "daemon.batch"
+        ~attrs:(fun () ->
+          [ ("shard", string_of_int idx); ("events", string_of_int (Queue.length batch)) ])
+        (fun () -> Queue.iter handle batch);
     sync_cache_counters ();
     if finished then begin
       let reports =
@@ -172,10 +211,13 @@ let worker ~profile ~keep_verdicts ~metrics ~alerts shard =
   in
   loop ()
 
+let default_ring_capacity = 256
+
 let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
-    ?metrics ?alerts profile =
+    ?(ring_capacity = default_ring_capacity) ?metrics ?alerts profile =
   if shards < 1 then invalid_arg "Daemon.create: need at least one shard";
   if queue_capacity < 0 then invalid_arg "Daemon.create: negative queue capacity";
+  if ring_capacity < 0 then invalid_arg "Daemon.create: negative ring capacity";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let alerts = match alerts with Some a -> a | None -> Alerts.create () in
   (* register the shared series up front so the dump shows them even
@@ -196,10 +238,16 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
           depth = Metrics.gauge metrics (Printf.sprintf "adprom_queue_depth_shard%d" i);
         })
   in
+  let rings = Array.init shards (fun _ -> Oring.create ring_capacity) in
+  (* every span finished while this daemon lives lands in a metrics
+     histogram; removed at drain so a later daemon re-registers its own *)
+  let span_hook = Otrace.on_span_end (Metrics.span_exporter metrics) in
   let workers =
-    Array.map
-      (fun shard ->
-        Domain.spawn (fun () -> worker ~profile ~keep_verdicts ~metrics ~alerts shard))
+    Array.mapi
+      (fun idx shard ->
+        Domain.spawn (fun () ->
+            worker ~idx ~profile ~keep_verdicts ~metrics ~alerts ~ring:rings.(idx)
+              shard))
       shard_array
   in
   {
@@ -210,6 +258,8 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     workers;
     metrics;
     alerts;
+    rings;
+    span_hook;
     shed_at_door = Hashtbl.create 16;
     offered = 0;
     ingested = 0;
@@ -276,6 +326,7 @@ let drain t =
       Mutex.unlock shard.mutex)
     t.shards;
   let results = Array.map Domain.join t.workers in
+  Otrace.remove_hook t.span_hook;
   let discarded =
     Array.to_list results |> List.concat_map (fun r -> r.discarded)
   in
@@ -306,3 +357,15 @@ let drain t =
 let metrics t = t.metrics
 let alerts t = t.alerts
 let shard_count t = Array.length t.shards
+
+let recent_events ?limit t =
+  let all =
+    Array.to_list t.rings
+    |> List.concat_map Oring.to_list
+    |> List.stable_sort (fun (a : Olog.event) b -> compare a.Olog.time b.Olog.time)
+  in
+  match limit with
+  | None -> all
+  | Some n ->
+      let len = List.length all in
+      List.filteri (fun i _ -> i >= len - n) all

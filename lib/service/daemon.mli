@@ -43,15 +43,19 @@ val create :
   ?shards:int ->
   ?queue_capacity:int ->
   ?keep_verdicts:bool ->
+  ?ring_capacity:int ->
   ?metrics:Metrics.t ->
   ?alerts:Alerts.t ->
   Adprom.Profile.t ->
   t
 (** Spawn the worker domains. Defaults: 4 shards, queue capacity 4096,
-    verdicts kept. The profile is shared read-only across domains.
-    [queue_capacity 0] sheds every session on arrival (useful for
-    testing the overload path). @raise Invalid_argument on [shards < 1]
-    or a negative capacity. *)
+    verdicts kept, 256 recent events retained per shard. The profile is
+    shared read-only across domains. [queue_capacity 0] sheds every
+    session on arrival (useful for testing the overload path). Also
+    registers a {!Metrics.span_exporter} hook for the daemon's lifetime
+    (removed at {!drain}), so span durations aggregate into the metrics
+    registry whenever tracing is on. @raise Invalid_argument on
+    [shards < 1] or a negative capacity. *)
 
 val ingest : t -> Codec.event -> admission
 (** Route one event (not thread-safe: one acceptor thread). [Rejected]
@@ -67,3 +71,9 @@ val drain : t -> summary
 val metrics : t -> Metrics.t
 val alerts : t -> Alerts.t
 val shard_count : t -> int
+
+val recent_events : ?limit:int -> t -> Adprom_obs.Log.event list
+(** The per-shard recent-event rings (incidents and, at [Debug]
+    threshold, per-call events), merged and time-ordered; [limit] keeps
+    only the newest entries. Call after {!drain} — while workers run
+    the rings are theirs, and a concurrent read is best-effort. *)

@@ -118,9 +118,25 @@ let quantile h q =
   Mutex.unlock h.h_mutex;
   result
 
+(* Spans land here through the {!span_exporter} hook: one histogram per
+   span name, so Chrome-trace detail and Prometheus aggregates come from
+   the same instrumentation points. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+    name
+
+let span_exporter t (span : Adprom_obs.Trace.span) =
+  let h = histogram t (Printf.sprintf "adprom_span_%s_seconds" (sanitize span.Adprom_obs.Trace.name)) in
+  observe h (Int64.to_float span.Adprom_obs.Trace.dur_ns *. 1e-9)
+
 let dump t =
   Mutex.lock t.mutex;
-  let names = List.rev t.order in
+  (* sorted by name, not registration order: the dump is diffable across
+     runs whose shards registered their series in different interleavings *)
+  let names = List.sort compare (List.rev t.order) in
   let metrics = List.filter_map (Hashtbl.find_opt t.table) names in
   Mutex.unlock t.mutex;
   let buf = Buffer.create 1024 in

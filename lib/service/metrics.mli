@@ -41,6 +41,14 @@ val quantile : histogram -> float -> float
     ([nan] when empty, [infinity] when it falls in the overflow
     bucket). *)
 
+val span_exporter : t -> Adprom_obs.Trace.span -> unit
+(** Bridge from tracing to metrics: record the span's duration into the
+    histogram [adprom_span_<name>_seconds] (non-alphanumerics in the
+    span name become [_]). Register it with
+    [Adprom_obs.Trace.on_span_end] to aggregate every finished span. *)
+
 val dump : t -> string
-(** All metrics in registration order, one [name value] line each;
-    histograms dump cumulative buckets, sum and count. *)
+(** All metrics sorted by name, one [name value] line each; histograms
+    dump cumulative buckets, sum and count. The sort keys the dump on
+    content, not registration interleaving, so it is diffable across
+    runs. *)

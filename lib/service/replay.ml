@@ -6,6 +6,7 @@ type outcome = {
   seconds : float;
   metrics : Metrics.t;
   alerts : Alerts.t;
+  events_tail : Adprom_obs.Log.event list;
 }
 
 let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts profile stream =
@@ -14,12 +15,22 @@ let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts profile stream =
   in
   let t0 = Unix.gettimeofday () in
   Array.iter (fun ev -> ignore (Daemon.ingest daemon ev)) stream;
-  let summary = Daemon.drain daemon in
+  let summary =
+    Adprom_obs.Trace.with_span "daemon.drain" (fun () -> Daemon.drain daemon)
+  in
   let seconds = Unix.gettimeofday () -. t0 in
-  { summary; seconds; metrics = Daemon.metrics daemon; alerts = Daemon.alerts daemon }
+  {
+    summary;
+    seconds;
+    metrics = Daemon.metrics daemon;
+    alerts = Daemon.alerts daemon;
+    events_tail = Daemon.recent_events daemon;
+  }
 
 let of_text ?shards ?queue_capacity ?keep_verdicts profile text =
-  match Codec.decode text with
+  match
+    Adprom_obs.Trace.with_span "codec.decode" (fun () -> Codec.decode text)
+  with
   | Error e -> Error e
   | Ok stream -> Ok (run ?shards ?queue_capacity ?keep_verdicts profile stream)
 

@@ -10,6 +10,9 @@ type outcome = {
   seconds : float;  (** ingest + drain wall time *)
   metrics : Metrics.t;
   alerts : Alerts.t;
+  events_tail : Adprom_obs.Log.event list;
+      (** the daemon's recent structured events (time-ordered), drained
+          from the per-shard rings — what the CLI prints on request *)
 }
 
 val run :

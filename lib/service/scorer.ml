@@ -56,6 +56,8 @@ let flush t =
         Some verdict
     | None -> None
 
+let explain_last ?top t = Scoring.Stream.explain_last ?top t.stream
+
 let events_seen t = Scoring.Stream.events_seen t.stream
 let windows_scored t = t.windows_scored
 let worst t = t.worst

@@ -36,6 +36,11 @@ val flush : t -> Adprom.Detector.verdict option
     its single whole-trace verdict here (matching [Window.of_trace]);
     otherwise [None]. Idempotent. *)
 
+val explain_last : ?top:int -> t -> Adprom.Scoring.explanation option
+(** Explain the most recently scored window ({!Adprom.Scoring.explain}
+    semantics): [None] if it was [Normal] or nothing has been scored.
+    The daemon calls this only on verdicts it records as incidents. *)
+
 val events_seen : t -> int
 val windows_scored : t -> int
 val worst : t -> Adprom.Detector.flag

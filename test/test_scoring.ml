@@ -162,6 +162,98 @@ let prop_extend_invalidates =
             (Scoring.classify extended w))
         windows)
 
+(* --- explainability --------------------------------------------------------- *)
+
+let prop_explain_gate_matches_reference =
+  (* explain is Some exactly on anomalous windows, the gate agrees with
+     the reference verdict's evidence (priority: unknown symbol, then
+     unknown pair, then likelihood), and the margin is non-negative
+     exactly when an explanation exists *)
+  QCheck2.Test.make ~name:"Scoring.explain: gate = reference evidence, margin >= 0"
+    ~count:80 ~print:print_case
+    QCheck2.Gen.(pair cfg_gen specs_gen)
+    (fun ((seed, m, n, (use_labels, track_callers)), specs) ->
+      let profile = make_profile ~seed ~m ~n ~use_labels ~track_callers in
+      let engine = Scoring.create profile in
+      List.for_all
+        (fun spec ->
+          let w = window_of_spec profile.Profile.alphabet spec in
+          let reference = Detector.reference_classify profile w in
+          match Scoring.explain engine w with
+          | None -> reference.Detector.flag = Detector.Normal
+          | Some e ->
+              reference.Detector.flag <> Detector.Normal
+              && verdict_eq reference e.Scoring.verdict
+              && e.Scoring.exp_threshold = profile.Profile.threshold
+              && e.Scoring.margin >= 0.0
+              && (match e.Scoring.gate with
+                 | Scoring.Unknown_symbol -> reference.Detector.unknown_symbol
+                 | Scoring.Unknown_pair p ->
+                     (not reference.Detector.unknown_symbol)
+                     && reference.Detector.unknown_pair = Some p
+                 | Scoring.Below_threshold ->
+                     (not reference.Detector.unknown_symbol)
+                     && reference.Detector.unknown_pair = None
+                     && reference.Detector.score < profile.Profile.threshold
+                     && e.Scoring.margin > 0.0
+                     (* margin = threshold - score: finite unless the
+                        window scored -inf (e.g. an empty window) *)
+                     && (Float.is_finite e.Scoring.margin
+                        || reference.Detector.score = neg_infinity))
+              && List.length e.Scoring.top <= 3
+              && (let rec descending = function
+                    | a :: (b :: _ as rest) ->
+                        compare a.Scoring.surprisal b.Scoring.surprisal >= 0
+                        && descending rest
+                    | _ -> true
+                  in
+                  descending e.Scoring.top))
+        specs)
+
+let prop_stream_explain_last_matches_batch =
+  (* after each scored push, the stream's explanation is exactly the
+     batch explanation of the window it just classified *)
+  QCheck2.Test.make ~name:"Stream.explain_last = explain on the ring window"
+    ~count:40 ~print:print_case
+    QCheck2.Gen.(pair cfg_gen specs_gen)
+    (fun ((seed, m, n, (use_labels, track_callers)), specs) ->
+      let profile = make_profile ~seed ~m ~n ~use_labels ~track_callers in
+      let engine = Scoring.create profile in
+      let explanation_eq a b =
+        match (a, b) with
+        | None, None -> true
+        | Some x, Some y ->
+            x.Scoring.gate = y.Scoring.gate
+            && verdict_eq x.Scoring.verdict y.Scoring.verdict
+            && (x.Scoring.margin = y.Scoring.margin
+               || (Float.is_nan x.Scoring.margin && Float.is_nan y.Scoring.margin))
+            && x.Scoring.top = y.Scoring.top
+        | _ -> false
+      in
+      List.for_all
+        (fun spec ->
+          let w = window_of_spec profile.Profile.alphabet spec in
+          let window = Array.length w.Window.obs in
+          if window = 0 then true
+          else begin
+            let stream = Scoring.Stream.create ~window engine in
+            let events =
+              Array.to_list
+                (Array.mapi
+                   (fun i sym ->
+                     {
+                       Runtime.Collector.symbol = sym;
+                       caller = w.Window.callers.(i);
+                       block = i;
+                     })
+                   w.Window.obs)
+            in
+            List.iter (fun e -> ignore (Scoring.Stream.push stream e)) events;
+            explanation_eq (Scoring.explain engine w)
+              (Scoring.Stream.explain_last stream)
+          end)
+        specs)
+
 (* --- unit tests -------------------------------------------------------------- *)
 
 let fixed_profile () =
@@ -297,6 +389,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_engine_matches_reference;
           QCheck_alcotest.to_alcotest prop_wrapper_matches_reference;
           QCheck_alcotest.to_alcotest prop_extend_invalidates;
+        ] );
+      ( "explainability",
+        [
+          QCheck_alcotest.to_alcotest prop_explain_gate_matches_reference;
+          QCheck_alcotest.to_alcotest prop_stream_explain_last_matches_batch;
         ] );
       ( "memo",
         [

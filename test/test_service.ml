@@ -353,6 +353,57 @@ let test_metrics_registry () =
     (Invalid_argument "Metrics: \"depth\" registered with another type") (fun () ->
       ignore (Metrics.counter m "depth"))
 
+let test_metrics_dump_sorted_golden () =
+  (* registration order is scrambled on purpose: the dump must come out
+     sorted by name, and byte-identical to this golden copy *)
+  let m = Metrics.create () in
+  let c = Metrics.counter m "z_total" in
+  Metrics.incr ~by:2 c;
+  let g = Metrics.gauge m "a_depth" in
+  Metrics.set_gauge g 5;
+  Metrics.set_gauge g 2;
+  let h = Metrics.histogram ~buckets:[| 0.1; 1.0 |] m "m_lat" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 10.0;
+  let expected =
+    "a_depth 2\n\
+     a_depth_max 5\n\
+     m_lat_bucket{le=\"0.1\"} 1\n\
+     m_lat_bucket{le=\"+inf\"} 2\n\
+     m_lat_sum 10.05\n\
+     m_lat_count 2\n\
+     z_total 2\n"
+  in
+  Alcotest.(check string) "golden sorted dump" expected (Metrics.dump m)
+
+let test_gauge_max_two_domains () =
+  (* two domains hammer the same gauge; the lock-free CAS loop must
+     leave the high-watermark at exactly the largest value either
+     domain ever set, regardless of interleaving *)
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "stress_depth" in
+  let per_domain = 20_000 in
+  let value k i = (i * 7) + k land 0xffff in
+  let worker k () =
+    for i = 0 to per_domain - 1 do
+      Metrics.set_gauge g (value k i)
+    done
+  in
+  let d1 = Domain.spawn (worker 1) and d2 = Domain.spawn (worker 2) in
+  Domain.join d1;
+  Domain.join d2;
+  let expected = ref min_int in
+  List.iter
+    (fun k ->
+      for i = 0 to per_domain - 1 do
+        if value k i > !expected then expected := value k i
+      done)
+    [ 1; 2 ];
+  Alcotest.(check int) "watermark = global max" !expected (Metrics.gauge_max g);
+  Alcotest.(check bool) "last value is one of the writers' finals" true
+    (let v = Metrics.gauge_value g in
+     v = value 1 (per_domain - 1) || v = value 2 (per_domain - 1))
+
 (* --- alerts ------------------------------------------------------------------ *)
 
 let test_alert_sink () =
@@ -394,6 +445,49 @@ let test_alert_sink () =
         (contains ~needle log))
     [ "data-leak"; "out-of-context"; "/tmp/x"; "sig" ]
 
+let test_alert_explanation_rendered () =
+  let sink = Alerts.create () in
+  let v =
+    {
+      Detector.flag = Detector.Data_leak;
+      score = neg_infinity;
+      unknown_symbol = true;
+      unknown_pair = None;
+    }
+  in
+  let expl =
+    {
+      Adprom.Scoring.gate = Adprom.Scoring.Unknown_symbol;
+      verdict = v;
+      exp_threshold = -1.5;
+      margin = infinity;
+      top =
+        [
+          {
+            Adprom.Scoring.position = 2;
+            symbol = Symbol.lib "evil0";
+            caller = "intruder";
+            surprisal = infinity;
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "recorded" true
+    (Alerts.record_verdict ~explanation:expl sink ~session:7 ~window_index:3 v);
+  let log = Alerts.to_string sink in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rendered incident mentions %S" needle)
+        true
+        (contains ~needle log))
+    [ "gate=unknown-symbol"; "margin=inf"; "intruder"; "evil0@2" ];
+  (* without an explanation the bracketed suffix must not appear *)
+  let bare = Alerts.create () in
+  ignore (Alerts.record_verdict bare ~session:1 ~window_index:0 v);
+  Alcotest.(check bool) "no explanation, no brackets" false
+    (contains ~needle:"gate=" (Alerts.to_string bare))
+
 let test_daemon_feeds_alerts () =
   let profile = profile () in
   (* a stream of library calls the profile has never seen must raise
@@ -411,6 +505,44 @@ let test_daemon_feeds_alerts () =
   in
   Alcotest.(check bool) "session flagged" true
     (List.exists (fun f -> f = Detector.Out_of_context || f = Detector.Data_leak) worst)
+
+let test_daemon_explains_incidents () =
+  let profile = profile () in
+  let foreign =
+    Array.init 20 (fun i ->
+        { Codec.session = 0; event = mk_event ~caller:"intruder" (Printf.sprintf "evil%d" (i mod 3)) })
+  in
+  let outcome = Replay.run ~shards:2 profile foreign in
+  let verdict_incidents =
+    List.filter
+      (fun (i : Alerts.incident) ->
+        match i.Alerts.source with Alerts.Verdict _ -> true | Alerts.Finding _ -> false)
+      (Alerts.incidents outcome.Replay.alerts)
+  in
+  Alcotest.(check bool) "verdict incidents present" true (verdict_incidents <> []);
+  (* every anomalous incident carries an explanation naming the gate —
+     here the foreign symbols make that gate unknown-symbol *)
+  List.iter
+    (fun (i : Alerts.incident) ->
+      match i.Alerts.source with
+      | Alerts.Verdict { explanation = None; _ } ->
+          Alcotest.fail "verdict incident without explanation"
+      | Alerts.Verdict { explanation = Some e; _ } ->
+          Alcotest.(check bool) "gate is unknown-symbol" true
+            (e.Adprom.Scoring.gate = Adprom.Scoring.Unknown_symbol);
+          Alcotest.(check bool) "incident names the gate" true
+            (contains ~needle:"gate=unknown-symbol" (Alerts.incident_to_string i))
+      | Alerts.Finding _ -> ())
+    verdict_incidents;
+  (* the incidents also landed on the shard event rings and surface in
+     the outcome's tail *)
+  Alcotest.(check bool) "events tail non-empty" true
+    (outcome.Replay.events_tail <> []);
+  Alcotest.(check bool) "tail records the incidents" true
+    (List.exists
+       (fun (e : Adprom_obs.Log.event) ->
+         e.Adprom_obs.Log.message = "incident" && e.Adprom_obs.Log.level = Adprom_obs.Log.Warn)
+       outcome.Replay.events_tail)
 
 (* --- Core.Sessions properties ------------------------------------------------ *)
 
@@ -494,9 +626,23 @@ let () =
           Alcotest.test_case "conservation under pressure" `Quick
             test_daemon_conservation_under_pressure;
           Alcotest.test_case "alerts flow from verdicts" `Quick test_daemon_feeds_alerts;
+          Alcotest.test_case "incidents carry explanations" `Quick
+            test_daemon_explains_incidents;
         ] );
-      ("metrics", [ Alcotest.test_case "registry" `Quick test_metrics_registry ]);
-      ("alerts", [ Alcotest.test_case "unified incident log" `Quick test_alert_sink ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "dump is sorted (golden)" `Quick
+            test_metrics_dump_sorted_golden;
+          Alcotest.test_case "gauge watermark under two domains" `Quick
+            test_gauge_max_two_domains;
+        ] );
+      ( "alerts",
+        [
+          Alcotest.test_case "unified incident log" `Quick test_alert_sink;
+          Alcotest.test_case "explanations rendered" `Quick
+            test_alert_explanation_rendered;
+        ] );
       ( "sessions properties",
         [
           QCheck_alcotest.to_alcotest prop_demux_inverts_interleave;
