@@ -1,0 +1,78 @@
+(* Vet throughput: the full static verification pass — CFG build,
+   dominator trees, natural loops, the may-uninit dataflow, per-argument
+   taint and the whole-program checks — over generated programs of
+   increasing size. Writes BENCH_vet.json for the CI artifact. *)
+
+let sizes () = if !Common.smoke then [ 6; 12 ] else [ 6; 12; 24; 48 ]
+let repeats () = if !Common.smoke then 5 else 20
+
+type row = {
+  functions : int;
+  cfg_nodes : int;
+  diagnostics : int;
+  errors : int;
+  millis_per_run : float;
+}
+
+let run () =
+  Common.heading "vet: static verification throughput";
+  Printf.printf "%-10s %10s %8s %8s %12s\n" "functions" "cfg nodes" "diags" "errors"
+    "ms/run";
+  let rows =
+    List.map
+      (fun functions ->
+        let spec =
+          {
+            Dataset.Proggen.default with
+            Dataset.Proggen.seed = 7;
+            functions;
+            statements_per_function = 12;
+          }
+        in
+        let program = Applang.Parser.parse_program (Dataset.Proggen.generate spec) in
+        let vet () =
+          let cfgs = fst (Analysis.Cfg_build.build_program program) in
+          ignore (Analysis.Taint.analyze cfgs);
+          (cfgs, Analysis.Vet.check_program cfgs)
+        in
+        let n = repeats () in
+        let (cfgs, diags), seconds =
+          Common.time (fun () ->
+              let result = ref (vet ()) in
+              for _ = 2 to n do
+                result := vet ()
+              done;
+              !result)
+        in
+        let cfg_nodes =
+          List.fold_left
+            (fun acc (_, cfg) -> acc + List.length (Analysis.Cfg.node_ids cfg))
+            0 cfgs
+        in
+        let row =
+          {
+            functions;
+            cfg_nodes;
+            diagnostics = List.length diags;
+            errors = List.length (Analysis.Diag.errors diags);
+            millis_per_run = 1000.0 *. seconds /. float_of_int n;
+          }
+        in
+        Printf.printf "%-10d %10d %8d %8d %12.2f\n%!" row.functions row.cfg_nodes
+          row.diagnostics row.errors row.millis_per_run;
+        row)
+      (sizes ())
+  in
+  let oc = open_out "BENCH_vet.json" in
+  Printf.fprintf oc "{\n  \"smoke\": %b,\n  \"rows\": [\n" !Common.smoke;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"functions\": %d, \"cfg_nodes\": %d, \"diagnostics\": %d, \"errors\": \
+         %d, \"millis_per_run\": %.3f}%s\n"
+        r.functions r.cfg_nodes r.diagnostics r.errors r.millis_per_run
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_vet.json\n"

@@ -22,6 +22,7 @@ let experiments =
     ("crossval", Exp_crossval.run);
     ("interleaved-sessions", Exp_operations.sessions);
     ("service-throughput", Exp_service.run);
+    ("vet", Exp_vet.run);
     ("drift", Exp_operations.drift);
     ("profile-size", Exp_profile_size.run);
     ("ablation-cluster", Exp_ablation.cluster);

@@ -86,6 +86,128 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Statically analyze an AppLang program (CFG, DDG, pCTM).")
     Term.(ret (const analyze_cmd_run $ file_arg $ verbose_flag $ dot_arg))
 
+(* --- vet --------------------------------------------------------------- *)
+
+let collect_app_files paths =
+  List.concat_map
+    (fun path ->
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list |> List.sort compare
+        |> List.filter (fun f -> Filename.check_suffix f ".app")
+        |> List.map (Filename.concat path)
+      else [ path ])
+    paths
+
+let vet_one ~entry ~profile path =
+  let module Diag = Analysis.Diag in
+  match Applang.Parser.parse_program (read_file path) with
+  | exception e ->
+      [ Diag.make Diag.Error ~code:"parse-error" (Printexc.to_string e) ]
+  | program -> (
+      match profile with
+      | None ->
+          let cfgs, _sites = Analysis.Cfg_build.build_program program in
+          (* labeling is irrelevant to the program checks but keeps the
+             CFGs in the same state `analyze` would leave them *)
+          ignore (Analysis.Taint.analyze cfgs);
+          Analysis.Vet.check_program ~entry cfgs
+      | Some p -> (
+          match Analysis.Analyzer.analyze ~entry program with
+          | exception Invalid_argument msg ->
+              [ Diag.make Diag.Error ~code:"analysis-error" msg ]
+          | analysis -> Adprom.Profile_check.check ~entry p analysis))
+
+let vet_cmd_run paths format strict entry profile_path =
+  let module Diag = Analysis.Diag in
+  let module Json = Adprom_obs.Json in
+  let profile =
+    match profile_path with
+    | None -> Ok None
+    | Some p -> (
+        match Adprom.Profile_io.load p with
+        | Ok pr -> Ok (Some pr)
+        | Error e -> Error e)
+  in
+  match profile with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
+  | Ok profile -> (
+      match collect_app_files paths with
+      | [] -> `Error (false, "no AppLang (.app) files to vet")
+      | files ->
+          let results = List.map (fun f -> (f, vet_one ~entry ~profile f)) files in
+          (match format with
+          | `Text ->
+              List.iter
+                (fun (file, diags) ->
+                  List.iter
+                    (fun d -> Printf.printf "%s: %s\n" file (Diag.to_string d))
+                    diags;
+                  Printf.printf "%s: %s\n" file (Diag.summary diags))
+                results
+          | `Json ->
+              let file_json (file, diags) =
+                Json.obj
+                  [
+                    ("file", Json.string file);
+                    ("summary", Json.string (Diag.summary diags));
+                    ("errors", string_of_int (List.length (Diag.errors diags)));
+                    ("warnings", string_of_int (List.length (Diag.warnings diags)));
+                    ( "diagnostics",
+                      "[" ^ String.concat "," (List.map Diag.to_json diags) ^ "]" );
+                  ]
+              in
+              print_endline ("[" ^ String.concat ",\n" (List.map file_json results) ^ "]"));
+          let all = List.concat_map snd results in
+          if Diag.errors all <> [] || (strict && all <> []) then
+            `Error (false, Printf.sprintf "vet failed: %s" (Diag.summary all))
+          else `Ok ())
+
+let vet_paths_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"PATH"
+        ~doc:"AppLang source files, or directories containing .app files.")
+
+let vet_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let strict_flag =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Fail on warnings too, not only on errors.")
+
+let entry_arg =
+  Arg.(
+    value & opt string "main"
+    & info [ "entry" ] ~docv:"FUNC"
+        ~doc:"Entry function for the reachability checks.")
+
+let vet_profile_path_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:
+          "Also cross-check a stored profile (see `adprom train`): its alphabet and \
+           known (caller, call) pairs must be statically reachable, and reachable \
+           behaviour the profile never saw is reported as a training gap.")
+
+let vet_cmd =
+  Cmd.v
+    (Cmd.info "vet"
+       ~doc:
+         "Statically verify AppLang programs: dead code, use-before-init, undefined \
+          callees, loops with no reachable exit — and, with $(b,--profile), profile \
+          coverage against the statically possible behaviour. Exits non-zero on \
+          errors (with $(b,--strict): on any finding).")
+    Term.(
+      ret
+        (const vet_cmd_run $ vet_paths_arg $ vet_format_arg $ strict_flag $ entry_arg
+       $ vet_profile_path_arg))
+
 (* --- run --------------------------------------------------------------- *)
 
 let run_cmd_run file inputs show_trace =
@@ -272,6 +394,26 @@ let capacity_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Interleaving RNG seed.")
 
+let vet_policy_conv =
+  let parse s =
+    match Adprom.Profile_check.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown vet policy %S (off|warn|enforce)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p -> Format.pp_print_string ppf (Adprom.Profile_check.policy_to_string p) )
+
+let vet_policy_arg =
+  Arg.(
+    value
+    & opt vet_policy_conv Adprom.Profile_check.Warn
+    & info [ "vet-profile" ] ~docv:"POLICY"
+        ~doc:
+          "Vet the profile against the program's static analysis before monitoring: \
+           $(b,off), $(b,warn) (log and count findings, serve anyway), or \
+           $(b,enforce) (refuse a profile with error-class findings).")
+
 (* --- observability flags (shared by replay / serve) -------------------- *)
 
 let trace_out_arg =
@@ -403,18 +545,35 @@ let record_cmd =
           stream in the daemon wire format.")
     Term.(ret (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg))
 
-let replay_cmd_run profile_path events_path shards capacity verify log_level log_tail
-    trace_out =
+let replay_cmd_run profile_path events_path shards capacity verify vet_program
+    vet_policy log_level log_tail trace_out =
   obs_setup log_level trace_out;
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
   | Ok profile -> (
       match Service.Codec.load events_path with
       | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
-      | Ok stream ->
-          let outcome =
-            Service.Replay.run ~shards ~queue_capacity:capacity profile stream
+      | Ok stream -> (
+          let vet_against =
+            match vet_program with
+            | None -> Ok None
+            | Some f -> (
+                match
+                  Analysis.Analyzer.analyze (Applang.Parser.parse_program (read_file f))
+                with
+                | analysis -> Ok (Some analysis)
+                | exception e -> Error (Printexc.to_string e))
           in
+          match vet_against with
+          | Error msg ->
+              `Error (false, Printf.sprintf "cannot analyze --vet-program: %s" msg)
+          | Ok vet_against ->
+          match
+            Service.Replay.run ~shards ~queue_capacity:capacity ?vet_against
+              ~vet_policy profile stream
+          with
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | outcome ->
           print_outcome ~log_tail outcome;
           obs_finish trace_out;
           if verify then begin
@@ -434,7 +593,7 @@ let replay_cmd_run profile_path events_path shards capacity verify log_level log
               `Error (false, "daemon diverged from batch detection")
             end
           end
-          else `Ok ())
+          else `Ok ()))
 
 let events_file_arg =
   Arg.(
@@ -448,6 +607,15 @@ let verify_flag =
     & info [ "verify" ]
         ~doc:"Check the streamed verdicts against batch detection on the demuxed traces.")
 
+let vet_program_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "vet-program" ] ~docv:"FILE"
+        ~doc:
+          "AppLang source the profile claims to model: statically analyze it and vet \
+           the profile against it under the $(b,--vet-profile) policy before replaying.")
+
 let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
@@ -457,9 +625,11 @@ let replay_cmd =
     Term.(
       ret
         (const replay_cmd_run $ profile_arg $ events_file_arg $ shards_arg $ capacity_arg
-       $ verify_flag $ log_level_arg $ log_tail_arg $ trace_out_arg))
+       $ verify_flag $ vet_program_arg $ vet_policy_arg $ log_level_arg $ log_tail_arg
+       $ trace_out_arg))
 
-let serve_cmd_run app_name shards capacity seed log_level log_tail trace_out =
+let serve_cmd_run app_name shards capacity seed vet_policy log_level log_tail
+    trace_out =
   obs_setup log_level trace_out;
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
@@ -524,12 +694,15 @@ let serve_cmd_run app_name shards capacity seed log_level log_tail trace_out =
                 (Adprom.Audit.audit ~qsig o)
           | None -> ())
         sessions;
-      let outcome =
-        Service.Replay.run ~shards ~queue_capacity:capacity ~alerts profile stream
-      in
-      print_outcome ~labels ~log_tail outcome;
-      obs_finish trace_out;
-      `Ok ()
+      match
+        Service.Replay.run ~shards ~queue_capacity:capacity ~alerts
+          ~vet_against:analysis ~vet_policy profile stream
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | outcome ->
+          print_outcome ~labels ~log_tail outcome;
+          obs_finish trace_out;
+          `Ok ()
 
 let serve_cmd =
   Cmd.v
@@ -541,7 +714,7 @@ let serve_cmd =
     Term.(
       ret
         (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
-       $ log_level_arg $ log_tail_arg $ trace_out_arg))
+       $ vet_policy_arg $ log_level_arg $ log_tail_arg $ trace_out_arg))
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -637,6 +810,7 @@ let () =
        (Cmd.group (Cmd.info "adprom" ~doc)
           [
             analyze_cmd;
+            vet_cmd;
             run_cmd;
             demo_cmd;
             train_cmd;

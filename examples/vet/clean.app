@@ -1,0 +1,20 @@
+fun main() {
+  let conn = db_connect("mysql");
+  let acc = scanf();
+  let q = strcat("SELECT * FROM clients WHERE id='", strcat(acc, "';"));
+  if (mysql_query(conn, q) != 0) {
+    printf("query error\n");
+    exit();
+  }
+  let res = mysql_store_result(conn);
+  let row = mysql_fetch_row(res);
+  while (row != null) {
+    printf("%s\n", row[0]);
+    row = mysql_fetch_row(res);
+  }
+  report(row);
+}
+
+fun report(last) {
+  printf("done %s\n", last);
+}

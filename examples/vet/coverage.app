@@ -1,0 +1,8 @@
+// Coverage fixture: a profile trained only on the `puts` path misses
+// the statically reachable `printf` (uncovered-symbol / uncovered-pair),
+// and a profile claiming calls this program cannot make fails hard
+// (profile-symbol-unreachable / profile-pair-impossible).
+fun main() {
+  puts("hi");
+  printf("x\n");
+}

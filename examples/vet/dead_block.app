@@ -1,0 +1,8 @@
+fun main() {
+  let acc = scanf();
+  if (acc == null) {
+    return;
+    printf("never reached\n");
+  }
+  printf("%s\n", acc);
+}

@@ -1,0 +1,7 @@
+fun main() {
+  let conn = db_connect("mysql");
+  while (true) {
+    let row = mysql_fetch_row(conn);
+    printf("%s\n", row[0]);
+  }
+}

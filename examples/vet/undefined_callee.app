@@ -1,0 +1,5 @@
+fun main() {
+  let acc = scanf();
+  sanitize(acc);
+  printf("%s\n", acc);
+}

@@ -1,0 +1,8 @@
+fun main() {
+  let acc = scanf();
+  printf("%s\n", acc);
+}
+
+fun orphan(x) {
+  printf("never called %s\n", x);
+}

@@ -1,0 +1,8 @@
+fun main() {
+  let acc = scanf();
+  if (acc != null) {
+    let label = strcat("id:", acc);
+    printf("%s\n", label);
+  }
+  printf("%s\n", label);
+}

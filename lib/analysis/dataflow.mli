@@ -1,0 +1,55 @@
+(** Generic monotone dataflow framework over {!Cfg} graphs.
+
+    A forward worklist fixpoint parameterized by a join-semilattice and
+    a per-node transfer function. Every intraprocedural analysis of the
+    static phase (taint environments, definite assignment, …) is an
+    instance; writing a new one is a lattice + a transfer, never another
+    hand-rolled worklist.
+
+    Termination: the lattice must have finite height along the chains
+    the transfer produces and the transfer must be monotone — both hold
+    trivially for the finite powerset lattices used here.
+
+    Must-analyses fit the same engine upside down: order the lattice by
+    [⊇], make [bottom] the finite universe (the identity of
+    intersection) and [join] the intersection — see {!Vet}'s definite-
+    assignment pass. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Least element, and the value of unreachable nodes. Must be the
+      identity of {!join}. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) : sig
+  type solution
+
+  val solve :
+    ?with_back_edges:bool ->
+    Cfg.t ->
+    entry:L.t ->
+    transfer:(Cfg.node -> L.t -> L.t) ->
+    solution
+  (** Propagate from the entry node to a fixpoint. [with_back_edges]
+      (default [true]) also propagates along the recorded loop back
+      edges, so loop-carried facts converge; pass [false] to analyze
+      the acyclic single-visit view the probability forecast uses. *)
+
+  val input : solution -> int -> L.t
+  (** Join over the outputs of the node's processed predecessors —
+      the value {e entering} the node. [L.bottom] for nodes the entry
+      cannot reach. *)
+
+  val output : solution -> int -> L.t
+  (** [transfer node (input node)], memoized. [L.bottom] when
+      unreachable. *)
+
+  val reachable : solution -> int -> bool
+  (** Was the node visited by the fixpoint (i.e. reachable from the
+      entry through the propagated edge relation)? *)
+end

@@ -1,0 +1,63 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;
+  func : string;
+  block : int option;
+  message : string;
+}
+
+let make ?(func = "") ?block severity ~code message =
+  { severity; code; func; block; message }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let severity_rank = function Error -> 0 | Warning -> 1
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.func b.func in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.block b.block in
+        if c <> 0 then c else Stdlib.compare a.message b.message
+
+let errors l = List.filter (fun d -> d.severity = Error) l
+let warnings l = List.filter (fun d -> d.severity = Warning) l
+
+let anchor d =
+  match (d.func, d.block) with
+  | "", None -> ""
+  | f, None -> Printf.sprintf " %s:" f
+  | "", Some b -> Printf.sprintf " #%d:" b
+  | f, Some b -> Printf.sprintf " %s#%d:" f b
+
+let to_string d =
+  Printf.sprintf "%s[%s]%s %s" (severity_to_string d.severity) d.code (anchor d) d.message
+
+let to_json d =
+  let module J = Adprom_obs.Json in
+  J.obj
+    [
+      ("severity", J.string (severity_to_string d.severity));
+      ("code", J.string d.code);
+      ("func", J.string d.func);
+      ("block", (match d.block with Some b -> string_of_int b | None -> "null"));
+      ("message", J.string d.message);
+    ]
+
+let summary l =
+  let e = List.length (errors l) and w = List.length (warnings l) in
+  if e = 0 && w = 0 then "clean"
+  else
+    let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+    match (e, w) with
+    | 0, w -> plural w "warning"
+    | e, 0 -> plural e "error"
+    | e, w -> plural e "error" ^ ", " ^ plural w "warning"

@@ -1,0 +1,37 @@
+(** Structured diagnostics emitted by the static verification pass.
+
+    A diagnostic names a defect class (a stable kebab-case [code]), the
+    function and code block it anchors to, and a human message. The
+    {!Vet} checks produce them; [adprom vet] renders them as text or
+    JSON; the serving layer counts them and can refuse a profile on
+    [Error]s. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** defect class, e.g. ["dead-code"], ["undefined-callee"] *)
+  func : string;  (** enclosing function; [""] for program-level findings *)
+  block : int option;  (** CFG block id the finding anchors to *)
+  message : string;
+}
+
+val make : ?func:string -> ?block:int -> severity -> code:string -> string -> t
+
+val severity_to_string : severity -> string
+
+val compare : t -> t -> int
+(** Errors before warnings, then by code, function, block, message —
+    a stable presentation order. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val to_string : t -> string
+(** [error[undefined-callee] main#4: call to undefined function `frob`]. *)
+
+val to_json : t -> string
+(** One JSON object; [block] is [null] when absent. *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning"]; ["clean"] when empty. *)

@@ -1,9 +1,8 @@
 module Ast = Applang.Ast
 module Libspec = Applang.Libspec
 module SS = Set.Make (String)
-module SM = Map.Make (String)
 
-type summary = { const_taint : bool; param_taint : bool }
+type summary = { const_taint : bool; param_taint : bool array }
 
 type result = {
   labeled_blocks : int list;
@@ -20,7 +19,14 @@ let rec expr_taint ~tainted ~summary_of (e : Ast.expr) =
   | Ast.Index (a, b) -> sub a || sub b
   | Ast.Call (name, args) -> (
       match summary_of name with
-      | Some s -> s.const_taint || (s.param_taint && List.exists sub args)
+      | Some s ->
+          let rec arg_taint i = function
+            | [] -> false
+            | a :: rest ->
+                (i < Array.length s.param_taint && s.param_taint.(i) && sub a)
+                || arg_taint (i + 1) rest
+          in
+          s.const_taint || arg_taint 0 args
       | None -> (
           match Libspec.taint_of name with
           | Libspec.Source -> true
@@ -37,14 +43,23 @@ type state = {
 
 let summary_of state name = Hashtbl.find_opt state.summaries name
 
-(* Dataflow over one CFG given the taint of its parameters. Returns the
-   per-node IN environments and whether a tainted value may be returned.
-   Back edges participate so loop-carried taint converges. *)
+(* The may-taint environment lattice: sets of tainted variables. *)
+module Env = struct
+  type t = SS.t
+
+  let bottom = SS.empty
+  let join = SS.union
+  let equal = SS.equal
+end
+
+module Flow = Dataflow.Make (Env)
+
+(* Dataflow over one CFG given the taint of its parameters. Back edges
+   participate so loop-carried taint converges. Unreachable nodes keep
+   the bottom (empty) environment, matching the engine's view. *)
 let intra state (cfg : Cfg.t) (entry_env : SS.t) =
-  let ins : (int, SS.t) Hashtbl.t = Hashtbl.create 32 in
-  let get_in id = match Hashtbl.find_opt ins id with Some s -> s | None -> SS.empty in
-  let transfer id env =
-    match (Cfg.node cfg id).Cfg.event with
+  let transfer (n : Cfg.node) env =
+    match n.Cfg.event with
     | Cfg.E_bind (x, e) ->
         let tainted v = SS.mem v env in
         if expr_taint ~tainted ~summary_of:(summary_of state) e then SS.add x env
@@ -52,43 +67,20 @@ let intra state (cfg : Cfg.t) (entry_env : SS.t) =
     | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_cond _ | Cfg.E_return _ | Cfg.E_join ->
         env
   in
-  let edges id =
-    Cfg.successors cfg id
-    @ List.filter_map (fun (src, dst) -> if src = id then Some dst else None) cfg.Cfg.back_edges
-  in
-  Hashtbl.replace ins cfg.Cfg.entry entry_env;
-  let visited = Hashtbl.create 32 in
-  let work = Queue.create () in
-  Queue.add cfg.Cfg.entry work;
-  while not (Queue.is_empty work) do
-    let id = Queue.pop work in
-    Hashtbl.replace visited id ();
-    let out = transfer id (get_in id) in
-    List.iter
-      (fun succ ->
-        let cur = get_in succ in
-        let joined = SS.union cur out in
-        (* A node must be processed at least once even with an empty
-           environment: taint can be generated (not just propagated). *)
-        if (not (SS.equal joined cur)) || not (Hashtbl.mem visited succ) then begin
-          Hashtbl.replace ins succ joined;
-          Queue.add succ work
-        end)
-      (edges id)
-  done;
-  let ret_taint =
-    List.exists
-      (fun id ->
-        match (Cfg.node cfg id).Cfg.event with
-        | Cfg.E_return (Some e) ->
-            let env = get_in id in
-            expr_taint ~tainted:(fun v -> SS.mem v env) ~summary_of:(summary_of state) e
-        | Cfg.E_return None | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_bind _
-        | Cfg.E_cond _ | Cfg.E_join ->
-            false)
-      (Cfg.node_ids cfg)
-  in
-  (get_in, ret_taint)
+  Flow.solve cfg ~entry:entry_env ~transfer
+
+(* May a tainted value be returned under the solved environments? *)
+let returns_taint state (cfg : Cfg.t) sol =
+  List.exists
+    (fun id ->
+      match (Cfg.node cfg id).Cfg.event with
+      | Cfg.E_return (Some e) ->
+          let env = Flow.input sol id in
+          expr_taint ~tainted:(fun v -> SS.mem v env) ~summary_of:(summary_of state) e
+      | Cfg.E_return None | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_bind _
+      | Cfg.E_cond _ | Cfg.E_join ->
+          false)
+    (Cfg.node_ids cfg)
 
 let env_of_params (cfg : Cfg.t) flags =
   List.fold_left
@@ -96,31 +88,35 @@ let env_of_params (cfg : Cfg.t) flags =
     (SS.empty, 0) cfg.Cfg.params
   |> fst
 
-let analyze cfgs =
+let summary_equal a b =
+  a.const_taint = b.const_taint && a.param_taint = b.param_taint
+
+let analyze ?(per_arg = true) cfgs =
   let state = { summaries = Hashtbl.create 16; entry_taint = Hashtbl.create 16 } in
   List.iter
     (fun (name, cfg) ->
-      Hashtbl.replace state.summaries name { const_taint = false; param_taint = false };
-      Hashtbl.replace state.entry_taint name
-        (Array.make (List.length cfg.Cfg.params) false))
+      let n = List.length cfg.Cfg.params in
+      Hashtbl.replace state.summaries name
+        { const_taint = false; param_taint = Array.make n false };
+      Hashtbl.replace state.entry_taint name (Array.make n false))
     cfgs;
   let changed = ref true in
   let update_summary name s =
-    if Hashtbl.find state.summaries name <> s then begin
+    if not (summary_equal (Hashtbl.find state.summaries name) s) then begin
       Hashtbl.replace state.summaries name s;
       changed := true
     end
   in
   (* Propagate taint from a caller's dataflow into callee parameter
      assumptions. *)
-  let propagate_call_sites (cfg : Cfg.t) get_in =
+  let propagate_call_sites (cfg : Cfg.t) sol =
     List.iter
       (fun (id, site) ->
         if site.Cfg.is_user then begin
           match Hashtbl.find_opt state.entry_taint site.Cfg.callee with
           | None -> ()
           | Some flags ->
-              let env = get_in id in
+              let env = Flow.input sol id in
               let tainted v = SS.mem v env in
               List.iteri
                 (fun i arg ->
@@ -140,27 +136,40 @@ let analyze cfgs =
     List.iter
       (fun (name, cfg) ->
         let nparams = List.length cfg.Cfg.params in
-        let _, ret_clean = intra state cfg SS.empty in
-        let _, ret_all =
-          intra state cfg (env_of_params cfg (Array.make nparams true))
+        let const_taint =
+          returns_taint state cfg (intra state cfg SS.empty)
         in
-        update_summary name { const_taint = ret_clean; param_taint = ret_all };
+        let param_taint =
+          if per_arg then
+            (* Each bit in isolation: taint is a disjunctive reachability
+               property, so single-parameter runs compose exactly. *)
+            Array.init nparams (fun i ->
+                let flags = Array.make nparams false in
+                flags.(i) <- true;
+                returns_taint state cfg (intra state cfg (env_of_params cfg flags)))
+          else
+            let all =
+              returns_taint state cfg
+                (intra state cfg (env_of_params cfg (Array.make nparams true)))
+            in
+            Array.make nparams all
+        in
+        update_summary name { const_taint; param_taint };
         let actual = Hashtbl.find state.entry_taint name in
-        let get_in, _ = intra state cfg (env_of_params cfg actual) in
-        propagate_call_sites cfg get_in)
+        propagate_call_sites cfg (intra state cfg (env_of_params cfg actual)))
       cfgs
   done;
   (* Final labeling pass under the converged actual assumptions. *)
   let labeled = ref [] in
   List.iter
-    (fun (name, cfg) ->
-      let actual = Hashtbl.find state.entry_taint name in
-      let get_in, _ = intra state cfg (env_of_params cfg actual) in
+    (fun (_name, cfg) ->
+      let actual = Hashtbl.find state.entry_taint cfg.Cfg.func in
+      let sol = intra state cfg (env_of_params cfg actual) in
       List.iter
         (fun (id, site) ->
           site.Cfg.label <- None;
           if Libspec.is_sink site.Cfg.callee then begin
-            let env = get_in id in
+            let env = Flow.input sol id in
             let tainted v = SS.mem v env in
             if
               List.exists

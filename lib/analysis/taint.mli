@@ -1,10 +1,20 @@
 (** Static data-dependency analysis (the paper's DDG, Sec. IV-A/IV-C1).
 
-    A forward may-taint dataflow over each CFG (iterated to fixpoint
-    with the real back edges, so loop-carried flows are found), combined
-    with interprocedural summaries: a user function may return targeted
-    data either unconditionally (it contains a source) or only when one
-    of its arguments is tainted.
+    A forward may-taint dataflow over each CFG — an instance of the
+    generic {!Dataflow} engine, iterated with the real back edges so
+    loop-carried flows are found — combined with interprocedural
+    summaries: a user function may return targeted data either
+    unconditionally (it contains a source) or conditionally on specific
+    arguments being tainted.
+
+    Summaries are {e per argument}: [param_taint.(i)] says whether
+    taint entering through parameter [i] alone can reach the return
+    value. This strictly refines the old whole-function boolean — a
+    call [f(clean, dirty)] where only parameter 0 flows to the return
+    no longer taints the result — so the per-argument labeling marks
+    the same or fewer sinks, never more. [analyze ~per_arg:false]
+    collapses every bit to the joint all-arguments answer, reproducing
+    the coarse semantics (useful as a refinement baseline in tests).
 
     The result of [analyze] is the labeling: every output-statement call
     site whose arguments may carry DB-retrieved data gets
@@ -13,7 +23,9 @@
 
 type summary = {
   const_taint : bool;  (** returns targeted data regardless of inputs *)
-  param_taint : bool;  (** returns targeted data when an argument is tainted *)
+  param_taint : bool array;
+      (** [param_taint.(i)]: returns targeted data when argument [i]
+          is tainted; length = the function's parameter count *)
 }
 
 type result = {
@@ -29,6 +41,9 @@ val expr_taint :
 (** May the expression evaluate to targeted data, given the variable
     taint environment and user-function summaries? *)
 
-val analyze : (string * Cfg.t) list -> result
+val analyze : ?per_arg:bool -> (string * Cfg.t) list -> result
 (** Runs the interprocedural fixpoint and {e mutates} the [label] field
-    of sink call sites in the given CFGs. Idempotent. *)
+    of sink call sites in the given CFGs. Idempotent. [per_arg]
+    defaults to [true]; [false] computes whole-function boolean
+    summaries (every [param_taint] bit equal), the pre-refinement
+    behavior. *)

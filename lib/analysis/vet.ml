@@ -1,0 +1,257 @@
+module Ast = Applang.Ast
+module Libspec = Applang.Libspec
+module SS = Set.Make (String)
+
+type facts = {
+  entry : string;
+  symbols : Symbol.Set.t;
+  pairs : (string * Symbol.t) list;
+}
+
+(* --- shared helpers --------------------------------------------------------- *)
+
+let rec vars acc (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Null -> acc
+  | Ast.Var v -> SS.add v acc
+  | Ast.Binop (_, a, b) -> vars (vars acc a) b
+  | Ast.Unop (_, a) -> vars acc a
+  | Ast.Index (a, b) -> vars (vars acc a) b
+  | Ast.Call (_, args) -> List.fold_left vars acc args
+
+let uses_of_event = function
+  | Cfg.E_bind (_, e) -> vars SS.empty e
+  | Cfg.E_cond e -> vars SS.empty e
+  | Cfg.E_return (Some e) -> vars SS.empty e
+  | Cfg.E_call site -> List.fold_left vars SS.empty site.Cfg.args
+  | Cfg.E_entry | Cfg.E_exit | Cfg.E_join | Cfg.E_return None -> SS.empty
+
+let describe = function
+  | Cfg.E_call site -> Printf.sprintf "call to `%s`" site.Cfg.callee
+  | Cfg.E_bind (x, _) -> Printf.sprintf "assignment to `%s`" x
+  | Cfg.E_cond _ -> "branch"
+  | Cfg.E_return _ -> "return"
+  | Cfg.E_entry -> "entry"
+  | Cfg.E_exit -> "exit"
+  | Cfg.E_join -> "join"
+
+(* A condition that is statically always true: the only constant forms
+   AppLang programs spell loop-forever with. *)
+let const_true = function Ast.Bool true -> true | Ast.Int n -> n <> 0 | _ -> false
+
+(* The may-be-uninitialized analysis: a variable is in the set when some
+   path from the entry reaches the node without assigning it. Plain
+   union lattice — the must-assigned complement. *)
+module VarFlow = Dataflow.Make (struct
+  type t = SS.t
+
+  let bottom = SS.empty
+  let join = SS.union
+  let equal = SS.equal
+end)
+
+(* --- per-function checks ---------------------------------------------------- *)
+
+let dead_code_diags (cfg : Cfg.t) dom add =
+  List.iter
+    (fun id ->
+      if not (Dominator.reachable dom id) then
+        match (Cfg.node cfg id).Cfg.event with
+        | Cfg.E_entry | Cfg.E_exit | Cfg.E_join -> ()
+        | ev ->
+            add
+              (Diag.make ~func:cfg.Cfg.func ~block:id Diag.Warning ~code:"dead-code"
+                 (Printf.sprintf "unreachable code: %s" (describe ev))))
+    (Cfg.node_ids cfg)
+
+let undefined_callee_diags (cfg : Cfg.t) add =
+  List.iter
+    (fun (id, site) ->
+      if (not site.Cfg.is_user) && not (Libspec.is_builtin site.Cfg.callee) then
+        add
+          (Diag.make ~func:cfg.Cfg.func ~block:id Diag.Error ~code:"undefined-callee"
+             (Printf.sprintf "call to undefined function `%s`" site.Cfg.callee)))
+    (Cfg.call_nodes cfg)
+
+let use_before_init_diags (cfg : Cfg.t) add =
+  let params = SS.of_list cfg.Cfg.params in
+  (* Only variables the function itself assigns count: a name never
+     bound anywhere is ambient state (e.g. [conn]), not a defect. *)
+  let locals =
+    Hashtbl.fold
+      (fun _ n acc ->
+        match n.Cfg.event with
+        | Cfg.E_bind (x, _) when not (SS.mem x params) -> SS.add x acc
+        | _ -> acc)
+      cfg.Cfg.nodes SS.empty
+  in
+  if not (SS.is_empty locals) then begin
+    let transfer (n : Cfg.node) env =
+      match n.Cfg.event with Cfg.E_bind (x, _) -> SS.remove x env | _ -> env
+    in
+    let sol = VarFlow.solve cfg ~entry:locals ~transfer in
+    let reported = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+        let suspect =
+          SS.inter
+            (SS.inter (uses_of_event (Cfg.node cfg id).Cfg.event) locals)
+            (VarFlow.input sol id)
+        in
+        SS.iter
+          (fun v ->
+            if not (Hashtbl.mem reported v) then begin
+              Hashtbl.replace reported v ();
+              add
+                (Diag.make ~func:cfg.Cfg.func ~block:id Diag.Warning
+                   ~code:"use-before-init"
+                   (Printf.sprintf "variable `%s` may be used before initialization" v))
+            end)
+          suspect)
+      (Cfg.node_ids cfg)
+  end
+
+let no_exit_loop_diags (cfg : Cfg.t) dom add =
+  List.iter
+    (fun (l : Loops.loop) ->
+      if Dominator.reachable dom l.Loops.header then begin
+        let header_always_true =
+          match (Cfg.node cfg l.Loops.header).Cfg.event with
+          | Cfg.E_cond e -> const_true e
+          | _ -> false
+        in
+        (* The DAG stores a fictional fall-through edge from each latch
+           to the after-join ("the body runs once"); at runtime a latch
+           goes back to the header, so those edges are not ways out. *)
+        let real_exits =
+          List.filter (fun (src, _) -> not (List.mem src l.Loops.latches)) l.Loops.exits
+        in
+        let exits_only_from_header =
+          List.for_all (fun (src, _) -> src = l.Loops.header) real_exits
+        in
+        (* Conservative: flag only when the sole way out is the loop
+           condition itself and that condition is constantly true. A
+           [break] or [return] in the body adds an exit edge from a
+           non-header, non-latch node and suppresses the finding. *)
+        if real_exits = [] || (header_always_true && exits_only_from_header) then
+          add
+            (Diag.make ~func:cfg.Cfg.func ~block:l.Loops.header Diag.Warning
+               ~code:"no-exit-loop" "loop has no reachable exit")
+      end)
+    (Loops.analyze cfg)
+
+let check_function (cfg : Cfg.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let dom = Dominator.compute cfg in
+  dead_code_diags cfg dom add;
+  undefined_callee_diags cfg add;
+  use_before_init_diags cfg add;
+  no_exit_loop_diags cfg dom add;
+  List.sort Diag.compare !diags
+
+(* --- whole-program checks --------------------------------------------------- *)
+
+let reachable_funcs ~entry cfgs =
+  if not (List.mem_assoc entry cfgs) then
+    List.fold_left (fun acc (name, _) -> SS.add name acc) SS.empty cfgs
+  else begin
+    let cg = Callgraph.build cfgs in
+    let seen = ref (SS.singleton entry) in
+    let work = Queue.create () in
+    Queue.add entry work;
+    while not (Queue.is_empty work) do
+      let f = Queue.pop work in
+      List.iter
+        (fun callee ->
+          if not (SS.mem callee !seen) then begin
+            seen := SS.add callee !seen;
+            Queue.add callee work
+          end)
+        (Callgraph.callees cg f)
+    done;
+    !seen
+  end
+
+let check_program ?(entry = "main") cfgs =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if not (List.mem_assoc entry cfgs) then
+    add
+      (Diag.make Diag.Warning ~code:"no-entry"
+         (Printf.sprintf "no entry function `%s`" entry))
+  else begin
+    let live = reachable_funcs ~entry cfgs in
+    List.iter
+      (fun (name, _) ->
+        if not (SS.mem name live) then
+          add
+            (Diag.make ~func:name Diag.Warning ~code:"unreachable-function"
+               (Printf.sprintf "function `%s` is never called from `%s`" name entry)))
+      cfgs
+  end;
+  List.iter (fun (_, cfg) -> List.iter add (check_function cfg)) cfgs;
+  List.sort Diag.compare !diags
+
+(* --- static facts for profile coverage -------------------------------------- *)
+
+let facts ?(entry = "main") cfgs =
+  let live = reachable_funcs ~entry cfgs in
+  let symbols = ref Symbol.Set.empty in
+  let pairs = ref [] in
+  List.iter
+    (fun (name, cfg) ->
+      if SS.mem name live then begin
+        let dom = Dominator.compute cfg in
+        List.iter
+          (fun (id, site) ->
+            if Dominator.reachable dom id && not site.Cfg.is_user then begin
+              let sym = Symbol.observable (Cfg.symbol_of_site ~id site) in
+              symbols := Symbol.Set.add sym !symbols;
+              pairs := (name, sym) :: !pairs
+            end)
+          (Cfg.call_nodes cfg)
+      end)
+    cfgs;
+  { entry; symbols = !symbols; pairs = List.sort_uniq compare !pairs }
+
+let check_coverage facts ~alphabet ~known_pairs =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let observable_only = List.filter (function Symbol.Entry | Symbol.Exit -> false | _ -> true) in
+  let alphabet = observable_only alphabet in
+  List.iter
+    (fun sym ->
+      if not (Symbol.Set.mem sym facts.symbols) then
+        add
+          (Diag.make Diag.Error ~code:"profile-symbol-unreachable"
+             (Printf.sprintf "profile alphabet symbol `%s` is not statically reachable"
+                (Symbol.to_string sym))))
+    alphabet;
+  List.iter
+    (fun (caller, sym) ->
+      if not (List.mem (caller, sym) facts.pairs) then
+        add
+          (Diag.make ~func:caller Diag.Error ~code:"profile-pair-impossible"
+             (Printf.sprintf "profile pair (%s, %s) is statically impossible" caller
+                (Symbol.to_string sym))))
+    known_pairs;
+  Symbol.Set.iter
+    (fun sym ->
+      if not (List.exists (Symbol.equal sym) alphabet) then
+        add
+          (Diag.make Diag.Warning ~code:"uncovered-symbol"
+             (Printf.sprintf
+                "statically reachable call `%s` was never observed in training"
+                (Symbol.to_string sym))))
+    facts.symbols;
+  List.iter
+    (fun (caller, sym) ->
+      if not (List.mem (caller, sym) known_pairs) then
+        add
+          (Diag.make ~func:caller Diag.Warning ~code:"uncovered-pair"
+             (Printf.sprintf
+                "statically possible pair (%s, %s) was never observed in training"
+                caller (Symbol.to_string sym))))
+    facts.pairs;
+  List.sort Diag.compare !diags

@@ -1,0 +1,58 @@
+(** The static verifier behind [adprom vet].
+
+    Sanity checks over the static-analysis artifacts before a program's
+    profile is trusted to monitor it. Two halves:
+
+    {ul
+    {- {b Program checks} ({!check_function}, {!check_program}):
+       unreachable blocks (dead code), variables possibly used before
+       initialization, calls to functions that are neither user-defined
+       nor in {!Applang.Libspec}, loops with no statically reachable
+       exit, and functions never called from the entry point.}
+    {- {b Profile coverage} ({!facts}, {!check_coverage}): the
+       statically reachable observable symbols and (caller, call) pairs,
+       cross-checked against a trained profile's alphabet and known
+       pairs. A profile mentioning a symbol or pair the program cannot
+       produce is corrupt or was trained for another program ([Error]);
+       a reachable symbol or pair the profile never saw is a training
+       gap that will flag legitimate behaviour ([Warning]).}}
+
+    Defect classes are {!Diag.t} codes: [dead-code],
+    [use-before-init], [undefined-callee], [no-exit-loop], [no-entry],
+    [unreachable-function], [profile-symbol-unreachable],
+    [profile-pair-impossible], [uncovered-symbol], [uncovered-pair].
+
+    Run {!Taint.analyze} on the CFGs {e before} {!facts} so DB-output
+    labels are in place — coverage compares labeled symbols. *)
+
+type facts = {
+  entry : string;
+  symbols : Symbol.Set.t;
+      (** observable library-call symbols of reachable call sites in
+          functions reachable from [entry] *)
+  pairs : (string * Symbol.t) list;
+      (** statically possible (enclosing function, observable call)
+          pairs, sorted *)
+}
+
+val check_function : Cfg.t -> Diag.t list
+(** Intraprocedural checks: dead code, use-before-init,
+    undefined callees, no-exit loops. Sorted with {!Diag.compare}. *)
+
+val check_program : ?entry:string -> (string * Cfg.t) list -> Diag.t list
+(** All per-function checks plus whole-program ones: a missing [entry]
+    function (default ["main"]) and functions unreachable from it.
+    Sorted. *)
+
+val facts : ?entry:string -> (string * Cfg.t) list -> facts
+(** The statically possible behaviour. When [entry] is absent from
+    [cfgs], every function is treated as a root (conservative). *)
+
+val check_coverage :
+  facts ->
+  alphabet:Symbol.t list ->
+  known_pairs:(string * Symbol.t) list ->
+  Diag.t list
+(** Cross-check a profile view against the static facts. The caller is
+    responsible for projecting both sides into the profile's label view
+    (see [Adprom.Profile_check]). Entry/Exit symbols are ignored. *)

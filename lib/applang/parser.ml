@@ -102,9 +102,19 @@ and parse_unary st =
   | Token.BANG ->
       advance st;
       Ast.Unop (Ast.Not, parse_unary st)
-  | Token.MINUS ->
+  | Token.MINUS -> (
       advance st;
-      Ast.Unop (Ast.Neg, parse_unary st)
+      (* [-5] is the literal, not a negation: otherwise [Int (-5)]
+         could never be spelled, and the pretty-printer's [(-5)] would
+         reparse as [Unop (Neg, Int 5)]. [-5[i]] stays a negation —
+         indexing binds tighter, so the [5] is not a lone literal. *)
+      match st.toks with
+      | { token = Token.INT _; _ } :: { token = Token.LBRACKET; _ } :: _ ->
+          Ast.Unop (Ast.Neg, parse_unary st)
+      | { token = Token.INT n; _ } :: _ ->
+          advance st;
+          Ast.Int (-n)
+      | _ -> Ast.Unop (Ast.Neg, parse_unary st))
   | _ -> parse_postfix st
 
 and parse_postfix st =

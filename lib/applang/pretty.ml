@@ -54,6 +54,10 @@ let rec expr_prec ctx e =
         (Printf.sprintf "%s %s %s" (expr_prec p a) (binop_to_string op)
            (expr_prec (p + 1) b))
   | Unop (Not, a) -> wrap 7 ("!" ^ expr_prec 7 a)
+  | Unop (Neg, ((Int _ | Unop (Neg, _)) as a)) ->
+      (* [-5] would reparse as the literal [Int (-5)]; parenthesizing
+         the operand keeps an explicit negation a negation *)
+      wrap 7 ("-(" ^ expr_prec 0 a ^ ")")
   | Unop (Neg, a) -> wrap 7 ("-" ^ expr_prec 7 a)
   | Call (name, args) ->
       Printf.sprintf "%s(%s)" name (String.concat ", " (List.map (expr_prec 0) args))

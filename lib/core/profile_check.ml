@@ -1,0 +1,60 @@
+module Symbol = Analysis.Symbol
+module Vet = Analysis.Vet
+module Diag = Analysis.Diag
+
+type policy = Off | Warn | Enforce
+
+let policy_to_string = function Off -> "off" | Warn -> "warn" | Enforce -> "enforce"
+
+let policy_of_string = function
+  | "off" -> Some Off
+  | "warn" -> Some Warn
+  | "enforce" -> Some Enforce
+  | _ -> None
+
+(* The profile's label view: CMarkov-style profiles never saw DB-output
+   labels, so the static facts must drop them too before comparing. *)
+let project_facts (profile : Profile.t) (facts : Vet.facts) =
+  if profile.Profile.params.Profile.use_labels then facts
+  else
+    {
+      facts with
+      Vet.symbols = Symbol.Set.map Symbol.strip_label facts.Vet.symbols;
+      pairs =
+        List.sort_uniq compare
+          (List.map (fun (c, s) -> (c, Symbol.strip_label s)) facts.Vet.pairs);
+    }
+
+let coverage ?entry (profile : Profile.t) analysis =
+  let facts =
+    project_facts profile (Vet.facts ?entry analysis.Analysis.Analyzer.cfgs)
+  in
+  let known_pairs =
+    Hashtbl.fold (fun p () acc -> p :: acc) profile.Profile.known_pairs []
+    |> List.sort compare
+  in
+  Vet.check_coverage facts
+    ~alphabet:(Array.to_list profile.Profile.alphabet)
+    ~known_pairs
+
+let check ?entry profile analysis =
+  List.sort Diag.compare
+    (Vet.check_program ?entry analysis.Analysis.Analyzer.cfgs
+    @ coverage ?entry profile analysis)
+
+let static_pairs ?entry analysis =
+  (Vet.facts ?entry analysis.Analysis.Analyzer.cfgs).Vet.pairs
+
+let apply policy ?entry profile analysis =
+  match policy with
+  | Off -> []
+  | Warn -> check ?entry profile analysis
+  | Enforce -> (
+      let diags = check ?entry profile analysis in
+      match Diag.errors diags with
+      | [] -> diags
+      | errs ->
+          invalid_arg
+            (Printf.sprintf "Profile_check: profile failed vet (%s): %s"
+               (Diag.summary diags)
+               (String.concat "; " (List.map Diag.to_string errs))))

@@ -1,0 +1,46 @@
+(** Vetting a profile against the program it claims to model.
+
+    The serving layer loads a trained {!Profile.t} and a program and
+    must decide whether to trust the pair. This module runs the
+    {!Analysis.Vet} program checks plus the profile-coverage
+    cross-check, projected into the profile's label view
+    ([use_labels = false] strips DB-output labels from the static facts
+    the same way training stripped them from the windows).
+
+    Error-class findings ([undefined-callee],
+    [profile-symbol-unreachable], [profile-pair-impossible]) mean the
+    profile cannot have been trained on this program (or the program
+    changed underneath it); warning-class findings are training gaps or
+    latent program defects that merit logging but not refusal. *)
+
+type policy =
+  | Off  (** skip vetting entirely *)
+  | Warn  (** report diagnostics, serve anyway *)
+  | Enforce  (** refuse to serve when any error-class finding exists *)
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** ["off"], ["warn"], ["enforce"]. *)
+
+val coverage :
+  ?entry:string -> Profile.t -> Analysis.Analyzer.t -> Analysis.Diag.t list
+(** Only the profile-coverage cross-check
+    ({!Analysis.Vet.check_coverage} under the profile's label view). *)
+
+val check :
+  ?entry:string -> Profile.t -> Analysis.Analyzer.t -> Analysis.Diag.t list
+(** Program checks plus {!coverage}, sorted with
+    {!Analysis.Diag.compare}. *)
+
+val static_pairs : ?entry:string -> Analysis.Analyzer.t -> (string * Analysis.Symbol.t) list
+(** The statically possible (caller, call) pairs of the analyzed
+    program — feed to {!Scoring.set_static_pairs} so explanations can
+    name statically impossible pairs. *)
+
+val apply :
+  policy -> ?entry:string -> Profile.t -> Analysis.Analyzer.t -> Analysis.Diag.t list
+(** Run {!check} under the policy. [Off] does nothing and returns [].
+    [Warn] returns the diagnostics for the caller to log. [Enforce]
+    additionally @raise Invalid_argument when error-class findings
+    exist, naming them. *)

@@ -125,6 +125,9 @@ type t = {
   mutable next_caller_id : int;
   pair_stride : int;
   pair_codes : (int, unit) Hashtbl.t;  (* caller_id * stride + code + 1 *)
+  mutable static_pairs : (string * Symbol.t, unit) Hashtbl.t option;
+      (* statically possible pairs (profile label view); explanation
+         gating only, never consulted by [classify] *)
   cache : cache;
   code_scratch : (int, int array) Hashtbl.t;  (* per-length, reused *)
   key_scratch : (int, int array) Hashtbl.t;
@@ -155,6 +158,7 @@ let create ?(cache_capacity = default_cache_capacity) profile =
       next_caller_id = 0;
       pair_stride = Array.length profile.Profile.alphabet + 2;
       pair_codes = Hashtbl.create 256;
+      static_pairs = None;
       cache = cache_create cache_capacity;
       code_scratch = Hashtbl.create 4;
       key_scratch = Hashtbl.create 4;
@@ -182,6 +186,21 @@ let cache_len t = Key_tbl.length t.cache.tbl
 let cache_capacity t = t.cache.capacity
 
 let invalidate t = cache_clear t.cache
+
+let set_static_pairs t pairs =
+  match pairs with
+  | None -> t.static_pairs <- None
+  | Some l ->
+      let tbl = Hashtbl.create ((2 * List.length l) + 1) in
+      List.iter
+        (fun (caller, sym) ->
+          let sym = Symbol.observable sym in
+          let sym = if t.use_labels then sym else Symbol.strip_label sym in
+          Hashtbl.replace tbl (caller, sym) ())
+        l;
+      t.static_pairs <- Some tbl
+
+let static_pairs_loaded t = t.static_pairs <> None
 
 let set_threshold t th =
   if not (Float.equal th t.threshold) then begin
@@ -287,6 +306,7 @@ let monitor t trace =
 type gate =
   | Unknown_symbol
   | Unknown_pair of (string * Symbol.t)
+  | Statically_impossible_pair of (string * Symbol.t)
   | Below_threshold
 
 type contribution = {
@@ -308,6 +328,9 @@ let gate_to_string = function
   | Unknown_symbol -> "unknown-symbol"
   | Unknown_pair (caller, sym) ->
       Printf.sprintf "unknown-pair(%s from %s)" (Symbol.to_string sym) caller
+  | Statically_impossible_pair (caller, sym) ->
+      Printf.sprintf "statically-impossible-pair(%s from %s)" (Symbol.to_string sym)
+        caller
   | Below_threshold -> "below-threshold"
 
 let explain ?(top = 3) t window =
@@ -347,7 +370,14 @@ let explain ?(top = 3) t window =
       if v.unknown_symbol then Unknown_symbol
       else
         match v.unknown_pair with
-        | Some p -> Unknown_pair p
+        | Some ((caller, sym) as p) -> (
+            (* Same evidence, sharper charge: a pair the static phase
+               proved the program cannot produce is tampering or a
+               profile/program mismatch, not behavioural drift. *)
+            match t.static_pairs with
+            | Some tbl when not (Hashtbl.mem tbl (caller, sym)) ->
+                Statically_impossible_pair p
+            | _ -> Unknown_pair p)
         | None -> Below_threshold
     in
     let margin =
@@ -356,7 +386,7 @@ let explain ?(top = 3) t window =
          explanation's margin is always non-negative *)
       match gate with
       | Below_threshold -> t.threshold -. v.score
-      | Unknown_symbol | Unknown_pair _ -> infinity
+      | Unknown_symbol | Unknown_pair _ | Statically_impossible_pair _ -> infinity
     in
     Some
       {
@@ -389,7 +419,11 @@ let explanation_to_string e =
                 top)))
 
 let extend t windows =
-  create ~cache_capacity:t.cache.capacity (Profile.extend t.profile windows)
+  let t' = create ~cache_capacity:t.cache.capacity (Profile.extend t.profile windows) in
+  (* Extension keeps the program (and its label view) fixed, so the
+     static facts stay valid for the new engine. *)
+  t'.static_pairs <- t.static_pairs;
+  t'
 
 (* --- per-profile engine cache (domain-local) ---------------------------- *)
 

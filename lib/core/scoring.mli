@@ -58,6 +58,16 @@ val set_threshold : t -> float -> unit
 (** Override the detection threshold (adaptive monitoring); flushes the
     verdict memo when the value actually changes. *)
 
+val set_static_pairs : t -> (string * Analysis.Symbol.t) list option -> unit
+(** Load ([Some], e.g. [Analysis.Vet.facts] pairs) or clear ([None])
+    the statically possible (caller, call) pairs. Pairs are projected
+    through the profile's label view on the way in. Explanation gating
+    only: {!explain} refines {!Unknown_pair} into
+    {!Statically_impossible_pair} for pairs outside the set, while
+    {!classify} verdicts stay bit-for-bit unchanged (no memo flush). *)
+
+val static_pairs_loaded : t -> bool
+
 val classify : t -> Window.t -> verdict
 (** Score and flag one window; identical to
     [Detector.reference_classify (profile t)] (with the engine's
@@ -79,6 +89,12 @@ type gate =
   | Unknown_symbol  (** a call outside the training alphabet *)
   | Unknown_pair of (string * Analysis.Symbol.t)
       (** a known call from a caller never seen issuing it *)
+  | Statically_impossible_pair of (string * Analysis.Symbol.t)
+      (** an out-of-context pair the static analysis proved the program
+          cannot produce at all — trace tampering or a profile/program
+          mismatch rather than behavioural drift; requires
+          {!set_static_pairs}, otherwise such pairs report as
+          {!Unknown_pair} *)
   | Below_threshold  (** HMM likelihood under the detection threshold *)
 
 type contribution = {
@@ -103,9 +119,11 @@ type explanation = {
 
 val explain : ?top:int -> t -> Window.t -> explanation option
 (** [None] exactly when {!classify} returns [Normal]. Gate priority:
-    [Unknown_symbol] over [Unknown_pair] over [Below_threshold]. [top]
-    (default 3) bounds the ranked contributions. Costs one extra
-    forward pass over the window — only ever paid on anomalies. *)
+    [Unknown_symbol] over [Unknown_pair] / [Statically_impossible_pair]
+    (the latter when {!set_static_pairs} facts rule the pair out) over
+    [Below_threshold]. [top] (default 3) bounds the ranked
+    contributions. Costs one extra forward pass over the window — only
+    ever paid on anomalies. *)
 
 val gate_to_string : gate -> string
 val explanation_to_string : explanation -> string

@@ -79,10 +79,11 @@ let flag_counter_names =
 
 let shard_of t session = Hashtbl.hash session mod Array.length t.shards
 
-let worker ~idx ~profile ~keep_verdicts ~metrics ~alerts ~ring shard =
+let worker ~idx ~profile ~static_pairs ~keep_verdicts ~metrics ~alerts ~ring shard =
   (* one compiled engine per worker domain: every session of this shard
      shares its interned tables and verdict memo *)
   let engine = Scoring.create profile in
+  Scoring.set_static_pairs engine static_pairs;
   let scorers : (int, Scorer.t) Hashtbl.t = Hashtbl.create 64 in
   let shed_here : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let discarded = ref [] in
@@ -214,12 +215,43 @@ let worker ~idx ~profile ~keep_verdicts ~metrics ~alerts ~ring shard =
 let default_ring_capacity = 256
 
 let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
-    ?(ring_capacity = default_ring_capacity) ?metrics ?alerts profile =
+    ?(ring_capacity = default_ring_capacity) ?metrics ?alerts ?vet_against
+    ?(vet_policy = Adprom.Profile_check.Warn) profile =
   if shards < 1 then invalid_arg "Daemon.create: need at least one shard";
   if queue_capacity < 0 then invalid_arg "Daemon.create: negative queue capacity";
   if ring_capacity < 0 then invalid_arg "Daemon.create: negative ring capacity";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let alerts = match alerts with Some a -> a | None -> Alerts.create () in
+  (* Vet the profile against the program before any domain spawns:
+     under [Enforce] a failing profile raises here (no workers to tear
+     down yet); under [Warn] findings are logged and counted. *)
+  let static_pairs =
+    match vet_against with
+    | None -> None
+    | Some analysis ->
+        let module Diag = Analysis.Diag in
+        let diags = Adprom.Profile_check.apply vet_policy profile analysis in
+        let errors = List.length (Diag.errors diags) in
+        let warnings = List.length (Diag.warnings diags) in
+        let c_err = Metrics.counter metrics "adprom_profile_vet_errors_total" in
+        let c_warn = Metrics.counter metrics "adprom_profile_vet_warnings_total" in
+        if errors > 0 then Metrics.incr ~by:errors c_err;
+        if warnings > 0 then Metrics.incr ~by:warnings c_warn;
+        List.iter
+          (fun d ->
+            let level =
+              match d.Diag.severity with
+              | Diag.Error -> Olog.Warn
+              | Diag.Warning -> Olog.Info
+            in
+            if Olog.enabled level then
+              Olog.emit level ~scope:"daemon"
+                ~fields:[ ("code", Olog.Str d.Diag.code) ]
+                (Diag.to_string d))
+          diags;
+        (* Explanations can now name statically impossible pairs. *)
+        Some (Adprom.Profile_check.static_pairs analysis)
+  in
   (* register the shared series up front so the dump shows them even
      before the first event arrives *)
   ignore (Metrics.counter metrics "adprom_windows_scored_total");
@@ -246,8 +278,8 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     Array.mapi
       (fun idx shard ->
         Domain.spawn (fun () ->
-            worker ~idx ~profile ~keep_verdicts ~metrics ~alerts ~ring:rings.(idx)
-              shard))
+            worker ~idx ~profile ~static_pairs ~keep_verdicts ~metrics ~alerts
+              ~ring:rings.(idx) shard))
       shard_array
   in
   {

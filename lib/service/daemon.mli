@@ -46,6 +46,8 @@ val create :
   ?ring_capacity:int ->
   ?metrics:Metrics.t ->
   ?alerts:Alerts.t ->
+  ?vet_against:Analysis.Analyzer.t ->
+  ?vet_policy:Adprom.Profile_check.policy ->
   Adprom.Profile.t ->
   t
 (** Spawn the worker domains. Defaults: 4 shards, queue capacity 4096,
@@ -54,8 +56,18 @@ val create :
     session on arrival (useful for testing the overload path). Also
     registers a {!Metrics.span_exporter} hook for the daemon's lifetime
     (removed at {!drain}), so span durations aggregate into the metrics
-    registry whenever tracing is on. @raise Invalid_argument on
-    [shards < 1] or a negative capacity. *)
+    registry whenever tracing is on.
+
+    [vet_against] runs {!Adprom.Profile_check} on the profile against
+    the program's static analysis before any domain spawns, under
+    [vet_policy] (default [Warn]: findings are logged with scope
+    [daemon] and counted as [adprom_profile_vet_{errors,warnings}_total];
+    [Enforce] refuses a profile with error-class findings). It also
+    loads the statically possible pairs into every worker engine, so
+    incident explanations can name [statically-impossible-pair] gates.
+
+    @raise Invalid_argument on [shards < 1], a negative capacity, or a
+    profile failing vet under [Enforce]. *)
 
 val ingest : t -> Codec.event -> admission
 (** Route one event (not thread-safe: one acceptor thread). [Rejected]

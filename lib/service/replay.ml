@@ -9,9 +9,11 @@ type outcome = {
   events_tail : Adprom_obs.Log.event list;
 }
 
-let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts profile stream =
+let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts ?vet_against
+    ?vet_policy profile stream =
   let daemon =
-    Daemon.create ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts profile
+    Daemon.create ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts
+      ?vet_against ?vet_policy profile
   in
   let t0 = Unix.gettimeofday () in
   Array.iter (fun ev -> ignore (Daemon.ingest daemon ev)) stream;

@@ -21,9 +21,14 @@ val run :
   ?keep_verdicts:bool ->
   ?metrics:Metrics.t ->
   ?alerts:Alerts.t ->
+  ?vet_against:Analysis.Analyzer.t ->
+  ?vet_policy:Adprom.Profile_check.policy ->
   Adprom.Profile.t ->
   Codec.event array ->
   outcome
+(** [vet_against]/[vet_policy] are passed through to {!Daemon.create}:
+    the profile is vetted against the program's static analysis before
+    replay starts. *)
 
 val of_text :
   ?shards:int ->

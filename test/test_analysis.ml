@@ -249,9 +249,11 @@ let test_taint_summaries () =
   let result = Taint.analyze cfgs in
   let summary name = List.assoc name result.Taint.summaries in
   Alcotest.(check bool) "source has const taint" true (summary "source").Taint.const_taint;
-  Alcotest.(check bool) "echo propagates params" true (summary "echo").Taint.param_taint;
+  Alcotest.(check bool) "echo propagates params" true
+    (Array.exists Fun.id (summary "echo").Taint.param_taint);
   Alcotest.(check bool) "echo has no const taint" false (summary "echo").Taint.const_taint;
-  Alcotest.(check bool) "konst never returns taint" false (summary "konst").Taint.param_taint;
+  Alcotest.(check bool) "konst never returns taint" false
+    (Array.exists Fun.id (summary "konst").Taint.param_taint);
   Alcotest.(check int) "only the echo printf is labeled" 1
     (List.length result.Taint.labeled_blocks)
 
@@ -319,6 +321,146 @@ let test_ctm_to_dot () =
   let sparse = Analysis.Export.ctm_to_dot ~threshold:10.0 a.Analysis.Analyzer.pctm in
   Alcotest.(check bool) "threshold filters all edges" false (contains ~needle:"->" sparse)
 
+(* --- dominators and loops ------------------------------------------------ *)
+
+let test_dominator_basics () =
+  let cfg =
+    cfg_of
+      "fun main() { let x = scanf(); if (x > 0) { puts(\"t\"); } else { puts(\"e\"); } printf(\"%s\", x); }"
+      "main"
+  in
+  let dom = Analysis.Dominator.compute cfg in
+  let entry = cfg.Cfg.entry in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "entry dominates %d" id)
+        true
+        (Analysis.Dominator.dominates dom entry id);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d dominates itself" id)
+        true
+        (Analysis.Dominator.dominates dom id id))
+    (Cfg.node_ids cfg);
+  Alcotest.(check bool) "entry has no idom" true
+    (Analysis.Dominator.idom dom entry = None)
+
+let test_loops_detects_while () =
+  let cfg = cfg_of "fun main() { while (x > 0) { printf(\"l\"); } puts(\"end\"); }" "main" in
+  match Analysis.Loops.analyze cfg with
+  | [ l ] ->
+      (match (Cfg.node cfg l.Analysis.Loops.header).Cfg.event with
+      | Cfg.E_cond _ -> ()
+      | _ -> Alcotest.fail "header is the loop condition");
+      Alcotest.(check bool) "body has >= 2 nodes" true
+        (List.length l.Analysis.Loops.body >= 2);
+      Alcotest.(check bool) "has an exit edge" true (l.Analysis.Loops.exits <> [])
+  | ls -> Alcotest.failf "expected exactly one loop, got %d" (List.length ls)
+
+let test_loops_straight_line_has_none () =
+  let cfg = cfg_of "fun main() { printf(\"a\"); }" "main" in
+  Alcotest.(check int) "no loops" 0 (List.length (Analysis.Loops.analyze cfg))
+
+(* --- qcheck properties over generated programs --------------------------- *)
+
+(* Random programs where DB taint reaches helpers through varying
+   argument positions: the per-argument refinement has to agree with
+   the coarse whole-function summaries on what is a sink, minus the
+   false positives of coarseness. *)
+let taint_prog_gen =
+  let open QCheck2.Gen in
+  let arg = oneofl [ "t"; "c"; "\"lit\"" ] in
+  let helper_body =
+    oneofl
+      [
+        "printf(\"%s\", p0);";
+        "printf(\"%s\", p1);";
+        "return p0;";
+        "return p1;";
+        "return strcat(p0, p1);";
+        "puts(\"x\"); return \"k\";";
+      ]
+  in
+  let* nhelpers = int_range 1 3 in
+  let* bodies = list_repeat nhelpers helper_body in
+  let stmt =
+    let* h = int_range 0 (nhelpers - 1) in
+    let* a0 = arg in
+    let* a1 = arg in
+    oneofl
+      [
+        Printf.sprintf "h%d(%s, %s);" h a0 a1;
+        Printf.sprintf "t = h%d(%s, %s);" h a0 a1;
+        Printf.sprintf "printf(\"%%s\", %s);" a0;
+      ]
+  in
+  let* stmts = list_size (int_range 1 5) stmt in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "fun main() {\n";
+  Buffer.add_string buf "  let conn = db_connect(\"pg\");\n";
+  Buffer.add_string buf "  let t = pq_exec(conn, \"SELECT x\");\n";
+  Buffer.add_string buf "  let c = scanf();\n";
+  List.iter (fun s -> Buffer.add_string buf ("  " ^ s ^ "\n")) stmts;
+  Buffer.add_string buf "}\n";
+  List.iteri
+    (fun i body -> Buffer.add_string buf (Printf.sprintf "fun h%d(p0, p1) { %s }\n" i body))
+    bodies;
+  pure (Buffer.contents buf)
+
+let prop_per_arg_refines_coarse =
+  QCheck2.Test.make ~name:"per-arg taint refines coarse summaries" ~count:100
+    ~print:Fun.id taint_prog_gen (fun src ->
+      let fine = Taint.analyze ~per_arg:true (fst (build src)) in
+      let coarse = Taint.analyze ~per_arg:false (fst (build src)) in
+      List.for_all
+        (fun b -> List.mem b coarse.Taint.labeled_blocks)
+        fine.Taint.labeled_blocks
+      && List.for_all
+           (fun (name, (s : Taint.summary)) ->
+             let sc = List.assoc name coarse.Taint.summaries in
+             (not s.Taint.const_taint) || sc.Taint.const_taint)
+           fine.Taint.summaries
+      && List.for_all
+           (fun (name, (s : Taint.summary)) ->
+             let sc = List.assoc name coarse.Taint.summaries in
+             Array.for_all2 (fun fine_bit coarse_bit -> (not fine_bit) || coarse_bit)
+               s.Taint.param_taint sc.Taint.param_taint)
+           fine.Taint.summaries)
+
+let prop_taint_idempotent =
+  QCheck2.Test.make ~name:"Taint.analyze is idempotent" ~count:100 ~print:Fun.id
+    taint_prog_gen (fun src ->
+      let cfgs = fst (build src) in
+      let first = Taint.analyze cfgs in
+      let second = Taint.analyze cfgs in
+      first.Taint.labeled_blocks = second.Taint.labeled_blocks
+      && first.Taint.summaries = second.Taint.summaries)
+
+let prop_reachability_sane =
+  QCheck2.Test.make ~name:"forecast reachability: entry 1.0, values in [0,1]"
+    ~count:25 ~print:string_of_int
+    (QCheck2.Gen.int_range 0 9999)
+    (fun seed ->
+      let spec =
+        {
+          Dataset.Proggen.default with
+          Dataset.Proggen.seed;
+          functions = 6;
+          statements_per_function = 8;
+        }
+      in
+      let cfgs = fst (build (Dataset.Proggen.generate spec)) in
+      List.for_all
+        (fun (_, cfg) ->
+          let reach = Analysis.Forecast.reachability cfg in
+          List.for_all
+            (fun (id, p) ->
+              p >= -.1e-9
+              && p <= 1.0 +. 1e-9
+              && (id <> cfg.Cfg.entry || Float.abs (p -. 1.0) < 1e-9))
+            reach)
+        cfgs)
+
 let test_callgraph_to_dot () =
   let cfgs, _ = build export_src in
   let dot = Analysis.Export.callgraph_to_dot (Callgraph.build cfgs) in
@@ -362,5 +504,18 @@ let () =
           Alcotest.test_case "function summaries" `Quick test_taint_summaries;
           Alcotest.test_case "mysql pipeline" `Quick test_taint_mysql_flow;
           Alcotest.test_case "idempotent" `Quick test_taint_idempotent;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "dominator basics" `Quick test_dominator_basics;
+          Alcotest.test_case "while loop detected" `Quick test_loops_detects_while;
+          Alcotest.test_case "straight line loop-free" `Quick
+            test_loops_straight_line_has_none;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_per_arg_refines_coarse;
+          QCheck_alcotest.to_alcotest prop_taint_idempotent;
+          QCheck_alcotest.to_alcotest prop_reachability_sane;
         ] );
     ]

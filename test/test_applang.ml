@@ -151,14 +151,29 @@ let test_roundtrip_datasets () =
   List.iter roundtrip
     [ Dataset.Ca_hospital.source; Dataset.Ca_banking.source; Dataset.Ca_supermarket.source ]
 
+let test_negative_int_literals () =
+  (* [-5] and [(-5)] are the literal; an explicit negation prints as
+     [-(5)] so neither form collapses into the other on reparse. *)
+  Alcotest.(check bool) "-5 is a literal" true (Parser.parse_expr "-5" = Ast.Int (-5));
+  Alcotest.(check bool) "(-5) is a literal" true
+    (Parser.parse_expr "(-5)" = Ast.Int (-5));
+  Alcotest.(check bool) "negation of a variable survives" true
+    (Parser.parse_expr "-x" = Ast.Unop (Ast.Neg, Ast.Var "x"));
+  let reprint e = Parser.parse_expr (Pretty.expr_to_string e) in
+  Alcotest.(check bool) "Int (-5) round trips" true (reprint (Ast.Int (-5)) = Ast.Int (-5));
+  let neg5 = Ast.Unop (Ast.Neg, Ast.Int 5) in
+  Alcotest.(check bool) "Neg (Int 5) round trips" true (reprint neg5 = neg5);
+  let negneg = Ast.Unop (Ast.Neg, neg5) in
+  Alcotest.(check bool) "Neg (Neg (Int 5)) round trips" true (reprint negneg = negneg)
+
 (* qcheck: generate random expressions, print, reparse, compare. *)
-let expr_gen =
+let expr_gen_sized =
   let open QCheck2.Gen in
-  sized @@ fix (fun self n ->
+  fix (fun self n ->
       let leaf =
         oneof
           [
-            map (fun i -> Ast.Int (abs i)) small_int;
+            map (fun i -> Ast.Int i) small_signed_int;
             map (fun s -> Ast.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
             pure (Ast.Bool true);
             pure Ast.Null;
@@ -183,11 +198,68 @@ let expr_gen =
               (list_size (int_range 0 3) (self (n / 3)));
           ])
 
+let expr_gen = QCheck2.Gen.sized expr_gen_sized
+
 let prop_expr_roundtrip =
-  QCheck2.Test.make ~name:"expression print/parse round trip" ~count:300 expr_gen (fun e ->
+  QCheck2.Test.make ~name:"expression print/parse round trip" ~count:300
+    ~print:Pretty.expr_to_string expr_gen (fun e ->
       let printed = Pretty.expr_to_string e in
       match Parser.parse_expr printed with
       | e' -> Ast.equal_expr e e'
+      | exception _ -> false)
+
+(* qcheck: generate random whole programs, print, reparse, compare. *)
+let ident_gen = QCheck2.Gen.(map (String.make 1) (char_range 'a' 'e'))
+
+let stmt_gen_sized =
+  let open QCheck2.Gen in
+  fix (fun self n ->
+      let e = expr_gen_sized (min n 4) in
+      let block = list_size (int_range 0 3) (self (n / 2)) in
+      let leaf =
+        oneof
+          [
+            map2 (fun v x -> Ast.Let (v, x)) ident_gen e;
+            map2 (fun v x -> Ast.Assign (v, x)) ident_gen e;
+            map (fun x -> Ast.Expr x) e;
+            pure (Ast.Return None);
+            map (fun x -> Ast.Return (Some x)) e;
+            pure Ast.Break;
+            pure Ast.Continue;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map3 (fun c t el -> Ast.If (c, t, el)) e block block;
+            map2 (fun c b -> Ast.While (c, b)) e block;
+            (let header = map2 (fun v x -> Ast.Assign (v, x)) ident_gen e in
+             map3 (fun init (c, step) b -> Ast.For (init, c, step, b))
+               (oneof [ map2 (fun v x -> Ast.Let (v, x)) ident_gen e; header ])
+               (pair e header) block);
+          ])
+
+let program_gen =
+  let open QCheck2.Gen in
+  let func name =
+    map2
+      (fun params body -> { Ast.name; params; body })
+      (list_size (int_range 0 2) ident_gen)
+      (list_size (int_range 0 4) (sized_size (int_range 0 5) stmt_gen_sized))
+  in
+  map2
+    (fun main fs -> { Ast.funcs = main :: fs })
+    (func "main")
+    (map2 (fun f g -> [ f; g ]) (func "f") (func "g"))
+
+let prop_program_roundtrip =
+  QCheck2.Test.make ~name:"program print/parse round trip" ~count:200
+    ~print:Pretty.program_to_string program_gen (fun p ->
+      let printed = Pretty.program_to_string p in
+      match Parser.parse_program printed with
+      | p' -> Ast.equal_program p p'
       | exception _ -> false)
 
 (* --- libspec ------------------------------------------------------------ *)
@@ -227,7 +299,9 @@ let () =
         [
           Alcotest.test_case "fixed program round trip" `Quick test_roundtrip_fixed;
           Alcotest.test_case "dataset sources round trip" `Quick test_roundtrip_datasets;
+          Alcotest.test_case "negative int literals" `Quick test_negative_int_literals;
           QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_program_roundtrip;
         ] );
       ("libspec", [ Alcotest.test_case "taint/sink classification" `Quick test_libspec ]);
     ]

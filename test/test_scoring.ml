@@ -188,7 +188,7 @@ let prop_explain_gate_matches_reference =
               && e.Scoring.margin >= 0.0
               && (match e.Scoring.gate with
                  | Scoring.Unknown_symbol -> reference.Detector.unknown_symbol
-                 | Scoring.Unknown_pair p ->
+                 | Scoring.Unknown_pair p | Scoring.Statically_impossible_pair p ->
                      (not reference.Detector.unknown_symbol)
                      && reference.Detector.unknown_pair = Some p
                  | Scoring.Below_threshold ->
