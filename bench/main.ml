@@ -23,6 +23,7 @@ let experiments =
     ("interleaved-sessions", Exp_operations.sessions);
     ("service-throughput", Exp_service.run);
     ("vet", Exp_vet.run);
+    ("seqauto", Exp_seqauto.run);
     ("drift", Exp_operations.drift);
     ("profile-size", Exp_profile_size.run);
     ("ablation-cluster", Exp_ablation.cluster);

@@ -414,6 +414,28 @@ let vet_policy_arg =
            $(b,off), $(b,warn) (log and count findings, serve anyway), or \
            $(b,enforce) (refuse a profile with error-class findings).")
 
+let static_gate_conv =
+  let parse s =
+    match Service.Daemon.gate_mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown static-gate mode %S (off|explain|enforce)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m -> Format.pp_print_string ppf (Service.Daemon.gate_mode_to_string m) )
+
+let static_gate_arg =
+  Arg.(
+    value
+    & opt static_gate_conv Service.Daemon.Gate_explain
+    & info [ "static-gate" ] ~docv:"MODE"
+        ~doc:
+          "Call-sequence automaton gate (needs a vetted program): $(b,off) (PR 4 \
+           behaviour), $(b,explain) (load the DFA for explanations and gate metrics, \
+           verdicts unchanged), or $(b,enforce) (statically impossible windows \
+           short-circuit to an anomalous verdict without a forward pass).")
+
 (* --- observability flags (shared by replay / serve) -------------------- *)
 
 let trace_out_arg =
@@ -546,7 +568,7 @@ let record_cmd =
     Term.(ret (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg))
 
 let replay_cmd_run profile_path events_path shards capacity verify vet_program
-    vet_policy log_level log_tail trace_out =
+    vet_policy static_gate log_level log_tail trace_out =
   obs_setup log_level trace_out;
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
@@ -570,7 +592,7 @@ let replay_cmd_run profile_path events_path shards capacity verify vet_program
           | Ok vet_against ->
           match
             Service.Replay.run ~shards ~queue_capacity:capacity ?vet_against
-              ~vet_policy profile stream
+              ~vet_policy ~static_gate profile stream
           with
           | exception Invalid_argument msg -> `Error (false, msg)
           | outcome ->
@@ -625,11 +647,11 @@ let replay_cmd =
     Term.(
       ret
         (const replay_cmd_run $ profile_arg $ events_file_arg $ shards_arg $ capacity_arg
-       $ verify_flag $ vet_program_arg $ vet_policy_arg $ log_level_arg $ log_tail_arg
-       $ trace_out_arg))
+       $ verify_flag $ vet_program_arg $ vet_policy_arg $ static_gate_arg $ log_level_arg
+       $ log_tail_arg $ trace_out_arg))
 
-let serve_cmd_run app_name shards capacity seed vet_policy log_level log_tail
-    trace_out =
+let serve_cmd_run app_name shards capacity seed vet_policy static_gate log_level
+    log_tail trace_out =
   obs_setup log_level trace_out;
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
@@ -696,7 +718,7 @@ let serve_cmd_run app_name shards capacity seed vet_policy log_level log_tail
         sessions;
       match
         Service.Replay.run ~shards ~queue_capacity:capacity ~alerts
-          ~vet_against:analysis ~vet_policy profile stream
+          ~vet_against:analysis ~vet_policy ~static_gate profile stream
       with
       | exception Invalid_argument msg -> `Error (false, msg)
       | outcome ->
@@ -714,7 +736,133 @@ let serve_cmd =
     Term.(
       ret
         (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
-       $ vet_policy_arg $ log_level_arg $ log_tail_arg $ trace_out_arg))
+       $ vet_policy_arg $ static_gate_arg $ log_level_arg $ log_tail_arg
+       $ trace_out_arg))
+
+(* --- automaton --------------------------------------------------------- *)
+
+(* Accept the Symbol.to_string spelling back: a bare call name, or
+   [name_Q<bid>] for a DB-output-labeled call. *)
+let parse_symbol tok =
+  let n = String.length tok in
+  let rec find i =
+    if i <= 0 then None
+    else if i + 1 < n && tok.[i] = '_' && tok.[i + 1] = 'Q' then
+      match int_of_string_opt (String.sub tok (i + 2) (n - i - 2)) with
+      | Some bid -> Some (String.sub tok 0 i, bid)
+      | None -> find (i - 1)
+    else find (i - 1)
+  in
+  match find (n - 2) with
+  | Some (name, bid) -> Analysis.Symbol.lib ~label:bid name
+  | None -> Analysis.Symbol.lib tok
+
+let automaton_cmd_run file entry no_labels budget dot_out queries accepts_run
+    inputs =
+  let source = read_file file in
+  let program = Applang.Parser.parse_program source in
+  let analysis = Analysis.Analyzer.analyze ~entry program in
+  let auto =
+    Analysis.Seqauto.build ~entry ~use_labels:(not no_labels) ~state_budget:budget
+      analysis.Analysis.Analyzer.pruned_cfgs analysis.Analysis.Analyzer.callgraph
+  in
+  print_endline (Analysis.Seqauto.stats_to_string auto.Analysis.Seqauto.stats);
+  (match dot_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Analysis.Dfa.to_dot auto.Analysis.Seqauto.dfa);
+      close_out oc;
+      Printf.printf "DFA written to %s\n" path);
+  List.iter
+    (fun q ->
+      let syms =
+        String.split_on_char ' ' q
+        |> List.filter (fun s -> s <> "")
+        |> List.map parse_symbol
+      in
+      Printf.printf "%-8s %s\n"
+        (if Analysis.Seqauto.accepts auto syms then "accept" else "reject")
+        q)
+    queries;
+  if not accepts_run then `Ok ()
+  else begin
+    let engine = Sqldb.Engine.create () in
+    let tc = Runtime.Testcase.make ~input:inputs "cli-automaton" in
+    let trace, outcome = Runtime.Interp.collect_trace ~analysis ~engine tc in
+    (match outcome.Runtime.Interp.status with
+    | Ok () -> ()
+    | Error msg -> Printf.eprintf "runtime error: %s\n" msg);
+    let syms =
+      Array.to_list
+        (Array.map
+           (fun (e : Runtime.Collector.event) -> e.Runtime.Collector.symbol)
+           trace)
+    in
+    if Analysis.Seqauto.accepts auto syms then begin
+      Printf.printf "accept   collected trace (%d library calls)\n"
+        (List.length syms);
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf
+            "soundness violation: the collected trace (%d library calls) is \
+             outside the automaton's language"
+            (List.length syms) )
+  end
+
+let automaton_budget_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "budget" ] ~docv:"N"
+        ~doc:
+          "NFA state budget for call-site inlining; past it construction falls \
+           back to one shared instance per function (flat, still sound).")
+
+let no_labels_flag =
+  Arg.(
+    value & flag
+    & info [ "no-labels" ]
+        ~doc:"Strip DB-output labels from the alphabet (the CMarkov view).")
+
+let automaton_dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the minimized DFA as Graphviz to FILE.")
+
+let accepts_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "accepts" ] ~docv:"SYMS"
+        ~doc:
+          "Query factor membership of a space-separated call sequence, e.g. \
+           $(b,--accepts \"read printf_Q6\") (repeatable). Prints accept/reject.")
+
+let accepts_run_flag =
+  Arg.(
+    value & flag
+    & info [ "accepts-run" ]
+        ~doc:
+          "Interpret the program (with $(b,-i) inputs) and query the collected \
+           trace against the automaton; a rejection is a soundness violation and \
+           exits non-zero.")
+
+let automaton_cmd =
+  Cmd.v
+    (Cmd.info "automaton"
+       ~doc:
+         "Compile a program's interprocedural call-sequence automaton (branch \
+          pruning, call-site inlining, subset construction, Hopcroft minimization) \
+          and print its statistics; optionally export the DFA and query window \
+          feasibility.")
+    Term.(
+      ret
+        (const automaton_cmd_run $ file_arg $ entry_arg $ no_labels_flag
+       $ automaton_budget_arg $ automaton_dot_arg $ accepts_arg $ accepts_run_flag
+       $ inputs_arg))
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -818,6 +966,7 @@ let () =
             record_cmd;
             replay_cmd;
             serve_cmd;
+            automaton_cmd;
             explain_cmd;
             list_cmd;
           ]))

@@ -4,6 +4,8 @@ type t = {
   callgraph : Callgraph.t;
   sites : Cfg.Sites.sites;
   taint : Taint.result;
+  pruned_cfgs : (string * Cfg.t) list;
+  pruning : Prune.report list;
   ctms : (string * Ctm.t) list;
   pctm : Ctm.t;
 }
@@ -21,12 +23,17 @@ let analyze ?(entry = "main") program =
         Trace_.with_span "analysis.callgraph" (fun () -> Callgraph.build cfgs)
       in
       let taint = Trace_.with_span "analysis.taint" (fun () -> Taint.analyze cfgs) in
-      let ctms = Trace_.with_span "analysis.forecast" (fun () -> Forecast.ctms cfgs) in
+      let pruned_cfgs, pruning =
+        Trace_.with_span "analysis.prune" (fun () -> Prune.program cfgs)
+      in
+      let ctms =
+        Trace_.with_span "analysis.forecast" (fun () -> Forecast.ctms pruned_cfgs)
+      in
       let pctm =
         Trace_.with_span "analysis.ctm_aggregate" (fun () ->
             Aggregate.program_ctm ctms callgraph ~entry)
       in
-      { program; cfgs; callgraph; sites; taint; ctms; pctm })
+      { program; cfgs; callgraph; sites; taint; pruned_cfgs; pruning; ctms; pctm })
 
 let labeled_block t bid = List.mem bid t.taint.Taint.labeled_blocks
 

@@ -7,13 +7,19 @@ type t = {
   callgraph : Callgraph.t;
   sites : Cfg.Sites.sites;  (** call expression -> block id *)
   taint : Taint.result;  (** DB-output labeling *)
-  ctms : (string * Ctm.t) list;  (** per-function CTMs, post labeling *)
+  pruned_cfgs : (string * Cfg.t) list;
+      (** {!Prune}d graphs (dead branch arms removed); share the
+          original node records, so taint labels show through *)
+  pruning : Prune.report list;  (** what the feasibility prepass removed *)
+  ctms : (string * Ctm.t) list;
+      (** per-function CTMs, post labeling, on the pruned graphs *)
   pctm : Ctm.t;  (** aggregated program CTM *)
 }
 
 val analyze : ?entry:string -> Applang.Ast.program -> t
-(** Full static phase: CFGs, call graph, taint labeling, probability
-    forecast, aggregation. [entry] defaults to ["main"].
+(** Full static phase: CFGs, call graph, taint labeling, branch
+    feasibility pruning, probability forecast (on the pruned graphs),
+    aggregation. [entry] defaults to ["main"].
     @raise Invalid_argument when [entry] is not defined. *)
 
 val labeled_block : t -> int -> bool

@@ -17,6 +17,8 @@ type event =
 
 type node = { id : int; func : string; event : event }
 
+type branch = { cond : int; if_true : int; if_false : int }
+
 type t = {
   func : string;
   params : string list;
@@ -26,6 +28,7 @@ type t = {
   succs : (int, int list) Hashtbl.t;
   preds : (int, int list) Hashtbl.t;
   mutable back_edges : (int * int) list;
+  mutable branches : branch list;
 }
 
 let node t id = Hashtbl.find t.nodes id
@@ -36,6 +39,8 @@ let predecessors t id = match Hashtbl.find_opt t.preds id with Some l -> l | Non
 let node_ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [])
 
 let out_degree t id = List.length (successors t id)
+
+let branch_of t id = List.find_opt (fun b -> b.cond = id) t.branches
 
 let call_of_node t id =
   match (node t id).event with

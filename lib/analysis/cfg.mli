@@ -31,6 +31,15 @@ type event =
 
 type node = { id : int; func : string; event : event }
 
+type branch = {
+  cond : int;  (** the [E_cond] node *)
+  if_true : int;  (** successor taken when the condition holds *)
+  if_false : int;  (** successor taken when it does not *)
+}
+(** Which successor of a two-way branch is which. [if_true] and
+    [if_false] may name the same node (both arms empty): the parallel
+    edges then carry the roles by multiplicity. *)
+
 type t = {
   func : string;
   params : string list;
@@ -40,6 +49,7 @@ type t = {
   succs : (int, int list) Hashtbl.t;  (** DAG successors; duplicates = parallel edges *)
   preds : (int, int list) Hashtbl.t;
   mutable back_edges : (int * int) list;  (** original loop back edges *)
+  mutable branches : branch list;  (** branch roles, one per [E_cond] node *)
 }
 
 val node : t -> int -> node
@@ -51,6 +61,9 @@ val node_ids : t -> int list
 (** All node ids, sorted ascending. *)
 
 val out_degree : t -> int -> int
+
+val branch_of : t -> int -> branch option
+(** The recorded branch roles of an [E_cond] node, if any. *)
 
 val call_of_node : t -> int -> call_site option
 

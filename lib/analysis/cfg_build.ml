@@ -32,6 +32,19 @@ let add_edge b src dst =
 let record_back_edge b src dst =
   b.graph.Cfg.back_edges <- b.graph.Cfg.back_edges @ [ (src, dst) ]
 
+(* Record which successor of a finished two-way branch plays which
+   role. Each construction phase below adds exactly one edge out of the
+   condition node (the frontier leaves [cond] at the first attach), so
+   the roles are fixed by edge order: [If] adds the then-edge first,
+   loops add the exit edge first. *)
+let record_branch b cond ~true_first =
+  match Hashtbl.find_opt b.graph.Cfg.succs cond with
+  | Some [ a; b_ ] ->
+      let if_true, if_false = if true_first then (a, b_) else (b_, a) in
+      b.graph.Cfg.branches <-
+        b.graph.Cfg.branches @ [ { Cfg.cond; if_true; if_false } ]
+  | Some _ | None -> ()
+
 (* Connect every pending frontier node to [id] and make [id] the new
    frontier. *)
 let attach b id =
@@ -95,6 +108,7 @@ let rec build_stmt b stmt =
       b.frontier <- [ c ];
       build_block b else_;
       List.iter (fun f -> add_edge b f j) b.frontier;
+      record_branch b c ~true_first:true;
       b.frontier <- [ j ]
   | Ast.While (cond, body) ->
       emit_calls b cond;
@@ -113,6 +127,7 @@ let rec build_stmt b stmt =
           record_back_edge b f c)
         b.frontier;
       b.loops <- List.tl b.loops;
+      record_branch b c ~true_first:false;
       b.frontier <- [ after ]
   | Ast.For (init, cond, step, body) ->
       build_stmt b init;
@@ -134,6 +149,7 @@ let rec build_stmt b stmt =
           add_edge b f after;
           record_back_edge b f c)
         b.frontier;
+      record_branch b c ~true_first:false;
       b.frontier <- [ after ]
 
 and build_block b stmts = List.iter (build_stmt b) stmts
@@ -149,6 +165,7 @@ let build_function ~counter ~user_funcs ~sites (f : Ast.func) =
       succs = Hashtbl.create 32;
       preds = Hashtbl.create 32;
       back_edges = [];
+      branches = [];
     }
   in
   let b = { graph; counter; user_funcs; sites; frontier = []; loops = [] } in

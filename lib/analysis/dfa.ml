@@ -1,0 +1,266 @@
+type t = {
+  syms : Symbol.t array;
+  index : int Symbol.Table.t;
+  start : int;
+  nstates : int;
+  trans : int array;  (* nstates * width, row-major; -1 = dead *)
+}
+
+let nstates t = t.nstates
+let width t = Array.length t.syms
+let alphabet t = Array.to_list t.syms
+let start t = t.start
+
+let sym_code t sym = Symbol.Table.find_opt t.index sym
+
+let step t state code =
+  if state < 0 then -1 else Array.unsafe_get t.trans ((state * Array.length t.syms) + code)
+
+let accepts_factor t word =
+  let rec go state = function
+    | [] -> state >= 0
+    | sym :: rest -> (
+        if state < 0 then false
+        else
+          match sym_code t sym with
+          | None -> false
+          | Some c -> go (step t state c) rest)
+  in
+  go t.start word
+
+(* --- bitsets over NFA states -------------------------------------------- *)
+
+module Bits = struct
+  let create n = Array.make ((n + 62) / 63) 0
+  let get b i = b.(i / 63) land (1 lsl (i mod 63)) <> 0
+  let set b i = b.(i / 63) <- b.(i / 63) lor (1 lsl (i mod 63))
+  let is_empty b = Array.for_all (fun w -> w = 0) b
+
+  let iter f b =
+    Array.iteri
+      (fun wi w ->
+        if w <> 0 then
+          for bit = 0 to 62 do
+            if w land (1 lsl bit) <> 0 then f ((wi * 63) + bit)
+          done)
+      b
+
+  let equal (a : int array) b = a = b
+
+  let hash (b : int array) =
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun v -> h := (!h lxor v) * 0x01000193 land max_int) b;
+    !h
+end
+
+module Set_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = Bits.equal
+  let hash = Bits.hash
+end)
+
+(* --- subset construction over the factor language ----------------------- *)
+
+let determinize ?(max_states = 100_000) (nfa : Nfa.t) =
+  let syms = Array.of_list nfa.Nfa.alphabet in
+  let w = Array.length syms in
+  let index = Symbol.Table.create (max 1 (2 * w)) in
+  Array.iteri (fun i s -> Symbol.Table.replace index s i) syms;
+  (* per (state, symbol) NFA move table *)
+  let moves = Array.make (max 1 (nfa.Nfa.nstates * max 1 w)) [] in
+  Array.iteri
+    (fun s l ->
+      List.iter
+        (fun (sym, d) ->
+          let c = Symbol.Table.find index sym in
+          moves.((s * w) + c) <- d :: moves.((s * w) + c))
+        l)
+    nfa.Nfa.delta;
+  let close set =
+    let stack = ref [] in
+    Bits.iter (fun s -> stack := s :: !stack) set;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | s :: rest ->
+          stack := rest;
+          List.iter
+            (fun d ->
+              if not (Bits.get set d) then begin
+                Bits.set set d;
+                stack := d :: !stack
+              end)
+            nfa.Nfa.eps.(s)
+    done
+  in
+  let ids = Set_tbl.create 256 in
+  let subsets = ref [] and nsubsets = ref 0 in
+  let work = Queue.create () in
+  let intern set =
+    match Set_tbl.find_opt ids set with
+    | Some id -> id
+    | None ->
+        let id = !nsubsets in
+        if id >= max_states then
+          invalid_arg "Dfa.of_nfa: subset construction exceeded max_states";
+        incr nsubsets;
+        Set_tbl.replace ids set id;
+        subsets := set :: !subsets;
+        Queue.add (id, set) work;
+        id
+  in
+  (* a factor can start anywhere: the initial subset is every state *)
+  let start_set = Bits.create nfa.Nfa.nstates in
+  for s = 0 to nfa.Nfa.nstates - 1 do
+    Bits.set start_set s
+  done;
+  close start_set;
+  let start = intern start_set in
+  let rows = ref [] in
+  while not (Queue.is_empty work) do
+    let id, set = Queue.pop work in
+    let row = Array.make w (-1) in
+    for c = 0 to w - 1 do
+      let next = Bits.create nfa.Nfa.nstates in
+      Bits.iter
+        (fun s -> List.iter (fun d -> Bits.set next d) moves.((s * w) + c))
+        set;
+      if not (Bits.is_empty next) then begin
+        close next;
+        row.(c) <- intern next
+      end
+    done;
+    rows := (id, row) :: !rows
+  done;
+  let n = !nsubsets in
+  let trans = Array.make (max 1 (n * max 1 w)) (-1) in
+  List.iter
+    (fun (id, row) -> Array.blit row 0 trans (id * w) w)
+    !rows;
+  { syms; index; start; nstates = n; trans }
+
+(* --- Hopcroft minimization ---------------------------------------------- *)
+
+(* All live states are accepting and the dead state is the only
+   non-accepting one, so minimization starts from that two-block
+   partition and refines by transition behaviour. *)
+let minimize dfa =
+  let w = Array.length dfa.syms in
+  let n = dfa.nstates in
+  if n <= 1 || w = 0 then dfa
+  else begin
+    let total = n + 1 in
+    let dead = n in
+    let delta s c = if s = dead then dead else match dfa.trans.((s * w) + c) with -1 -> dead | d -> d in
+    (* inverse transitions: inv.(c * total + q) = predecessors of q on c *)
+    let inv = Array.make (w * total) [] in
+    for s = 0 to total - 1 do
+      for c = 0 to w - 1 do
+        let q = delta s c in
+        inv.((c * total) + q) <- s :: inv.((c * total) + q)
+      done
+    done;
+    let class_of = Array.make total 0 in
+    class_of.(dead) <- 1;
+    let members = Array.make total [] in
+    members.(0) <- List.init n (fun i -> i);
+    members.(1) <- [ dead ];
+    let sizes = Array.make total 0 in
+    sizes.(0) <- n;
+    sizes.(1) <- 1;
+    let nblocks = ref 2 in
+    let in_w = Array.make (total * w) false in
+    let work = Queue.create () in
+    let push b c =
+      if not (in_w.((b * w) + c)) then begin
+        in_w.((b * w) + c) <- true;
+        Queue.add (b, c) work
+      end
+    in
+    for c = 0 to w - 1 do
+      push (if sizes.(0) <= sizes.(1) then 0 else 1) c
+    done;
+    let marked = Array.make total 0 in
+    while not (Queue.is_empty work) do
+      let a, c = Queue.pop work in
+      in_w.((a * w) + c) <- false;
+      (* X = states leading into block [a] on symbol [c] *)
+      let x_mem = Array.make total false in
+      List.iter
+        (fun q -> List.iter (fun p -> x_mem.(p) <- true) inv.((c * total) + q))
+        members.(a);
+      let affected = ref [] in
+      Array.iteri
+        (fun p in_x ->
+          if in_x then begin
+            let y = class_of.(p) in
+            if marked.(y) = 0 then affected := y :: !affected;
+            marked.(y) <- marked.(y) + 1
+          end)
+        x_mem;
+      List.iter
+        (fun y ->
+          let hits = marked.(y) in
+          marked.(y) <- 0;
+          if hits > 0 && hits < sizes.(y) then begin
+            (* split y into (y ∩ X) and (y \ X) *)
+            let inside, outside = List.partition (fun p -> x_mem.(p)) members.(y) in
+            let z = !nblocks in
+            incr nblocks;
+            members.(y) <- inside;
+            sizes.(y) <- hits;
+            members.(z) <- outside;
+            sizes.(z) <- List.length outside;
+            List.iter (fun p -> class_of.(p) <- z) outside;
+            for c' = 0 to w - 1 do
+              if in_w.((y * w) + c') then push z c'
+              else push (if sizes.(y) <= sizes.(z) then y else z) c'
+            done
+          end)
+        !affected
+    done;
+    (* rebuild: live blocks (not the dead state's) renumbered densely *)
+    let dead_block = class_of.(dead) in
+    let renum = Array.make !nblocks (-1) in
+    let count = ref 0 in
+    for b = 0 to !nblocks - 1 do
+      if b <> dead_block && members.(b) <> [] then begin
+        renum.(b) <- !count;
+        incr count
+      end
+    done;
+    let n' = !count in
+    let trans = Array.make (max 1 (n' * w)) (-1) in
+    for b = 0 to !nblocks - 1 do
+      if renum.(b) >= 0 then begin
+        let rep = List.hd members.(b) in
+        for c = 0 to w - 1 do
+          let q = delta rep c in
+          trans.((renum.(b) * w) + c) <- (if q = dead then -1 else renum.(class_of.(q)))
+        done
+      end
+    done;
+    { dfa with start = renum.(class_of.(dfa.start)); nstates = n'; trans }
+  end
+
+let of_nfa ?max_states nfa = minimize (determinize ?max_states nfa)
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  init [shape=point]; init -> s%d;\n" t.start);
+  let w = Array.length t.syms in
+  for s = 0 to t.nstates - 1 do
+    Buffer.add_string buf (Printf.sprintf "  s%d [label=\"%d\"];\n" s s);
+    for c = 0 to w - 1 do
+      let d = t.trans.((s * w) + c) in
+      if d >= 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" s d
+             (String.escaped (Symbol.to_string t.syms.(c))))
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -15,17 +15,21 @@ let severity_to_string = function Error -> "error" | Warning -> "warning"
 
 let severity_rank = function Error -> 0 | Warning -> 1
 
+(* Position first so a report reads like the source: program-level
+   findings ([func = ""]) lead, then per-function findings grouped by
+   function and block. Code before severity keeps one defect class
+   contiguous within a block. *)
 let compare a b =
-  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  let c = Stdlib.compare a.func b.func in
   if c <> 0 then c
   else
-    let c = Stdlib.compare a.code b.code in
+    let c = Stdlib.compare a.block b.block in
     if c <> 0 then c
     else
-      let c = Stdlib.compare a.func b.func in
+      let c = Stdlib.compare a.code b.code in
       if c <> 0 then c
       else
-        let c = Stdlib.compare a.block b.block in
+        let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
         if c <> 0 then c else Stdlib.compare a.message b.message
 
 let errors l = List.filter (fun d -> d.severity = Error) l

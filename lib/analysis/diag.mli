@@ -21,8 +21,9 @@ val make : ?func:string -> ?block:int -> severity -> code:string -> string -> t
 val severity_to_string : severity -> string
 
 val compare : t -> t -> int
-(** Errors before warnings, then by code, function, block, message —
-    a stable presentation order. *)
+(** By position — function, then block — then code, severity, message:
+    a deterministic order that reads like the source. Program-level
+    findings ([func = ""]) come first. *)
 
 val errors : t list -> t list
 val warnings : t list -> t list

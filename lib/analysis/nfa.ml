@@ -1,0 +1,134 @@
+type t = {
+  nstates : int;
+  start : int;
+  eps : int list array;
+  delta : (Symbol.t * int) list array;
+  alphabet : Symbol.t list;
+}
+
+type builder = {
+  mutable n : int;
+  mutable eps_edges : (int * int) list;
+  mutable sym_edges : (int * Symbol.t * int) list;
+}
+
+let create_builder () = { n = 0; eps_edges = []; sym_edges = [] }
+
+let fresh b =
+  let s = b.n in
+  b.n <- s + 1;
+  s
+
+let built_states b = b.n
+
+let add_eps b src dst = b.eps_edges <- (src, dst) :: b.eps_edges
+
+let add_sym b src sym dst = b.sym_edges <- (src, sym, dst) :: b.sym_edges
+
+let finish b ~start =
+  if start < 0 || start >= b.n then invalid_arg "Nfa.finish: start out of range";
+  let eps = Array.make b.n [] in
+  let delta = Array.make b.n [] in
+  List.iter (fun (s, d) -> eps.(s) <- d :: eps.(s)) b.eps_edges;
+  List.iter (fun (s, sym, d) -> delta.(s) <- (sym, d) :: delta.(s)) b.sym_edges;
+  let alphabet =
+    List.sort_uniq Symbol.compare (List.map (fun (_, sym, _) -> sym) b.sym_edges)
+  in
+  { nstates = b.n; start; eps; delta; alphabet }
+
+let transitions t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.eps
+  + Array.fold_left (fun acc l -> acc + List.length l) 0 t.delta
+
+let map_symbols f t =
+  let delta = Array.map (List.map (fun (sym, d) -> (f sym, d))) t.delta in
+  let alphabet =
+    List.sort_uniq Symbol.compare
+      (Array.to_list delta |> List.concat_map (List.map fst))
+  in
+  { t with delta; alphabet }
+
+let restrict_reachable t =
+  let seen = Array.make t.nstates false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter go t.eps.(s);
+      List.iter (fun (_, d) -> go d) t.delta.(s)
+    end
+  in
+  go t.start;
+  let renum = Array.make t.nstates (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun s live ->
+      if live then begin
+        renum.(s) <- !count;
+        incr count
+      end)
+    seen;
+  if !count = t.nstates then t
+  else begin
+    let eps = Array.make !count [] in
+    let delta = Array.make !count [] in
+    Array.iteri
+      (fun s live ->
+        if live then begin
+          eps.(renum.(s)) <- List.map (fun d -> renum.(d)) t.eps.(s);
+          delta.(renum.(s)) <- List.map (fun (sym, d) -> (sym, renum.(d))) t.delta.(s)
+        end)
+      seen;
+    let alphabet =
+      List.sort_uniq Symbol.compare
+        (Array.to_list delta |> List.concat_map (List.map fst))
+    in
+    { nstates = !count; start = renum.(t.start); eps; delta; alphabet }
+  end
+
+let eps_close t set =
+  let stack = ref [] in
+  Array.iteri (fun s v -> if v then stack := s :: !stack) set;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+        stack := rest;
+        List.iter
+          (fun d ->
+            if not set.(d) then begin
+              set.(d) <- true;
+              stack := d :: !stack
+            end)
+          t.eps.(s)
+  done
+
+let accepts_factor t word =
+  if t.nstates = 0 then word = []
+  else begin
+    let current = ref (Array.make t.nstates true) in
+    let alive = ref true in
+    List.iter
+      (fun sym ->
+        if !alive then begin
+          let next = Array.make t.nstates false in
+          let any = ref false in
+          Array.iteri
+            (fun s v ->
+              if v then
+                List.iter
+                  (fun (sym', d) ->
+                    if Symbol.equal sym sym' && not next.(d) then begin
+                      next.(d) <- true;
+                      any := true
+                    end)
+                  t.delta.(s))
+            !current;
+          if !any then begin
+            eps_close t next;
+            current := next
+          end
+          else alive := false
+        end)
+      word;
+    !alive
+  end

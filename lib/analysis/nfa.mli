@@ -1,0 +1,52 @@
+(** Nondeterministic finite automata over call {!Symbol}s, with
+    ε-transitions — the intermediate representation between pruned CFGs
+    and the dense {!Dfa} the runtime gate executes.
+
+    States are dense ints handed out by a {!builder}; {!Seqauto} lays
+    CFG nodes onto states (an edge into a library-call node carries the
+    call's observable symbol, every other edge is ε) and splices
+    call/return ε-edges through the call graph.
+
+    The language of interest is the {e factor} language: windows are
+    substrings of traces, so membership asks "can this symbol sequence
+    appear somewhere along a path?" — {!accepts_factor} simulates that
+    directly (start from every state) and is the executable
+    specification the compiled DFA is property-tested against. *)
+
+type t = {
+  nstates : int;
+  start : int;
+  eps : int list array;  (** ε-successors, indexed by state *)
+  delta : (Symbol.t * int) list array;  (** labeled transitions *)
+  alphabet : Symbol.t list;  (** distinct transition symbols, sorted *)
+}
+
+type builder
+
+val create_builder : unit -> builder
+
+val fresh : builder -> int
+(** Allocate a new state. *)
+
+val built_states : builder -> int
+(** States allocated so far (the inliner's budget check). *)
+
+val add_eps : builder -> int -> int -> unit
+val add_sym : builder -> int -> Symbol.t -> int -> unit
+
+val finish : builder -> start:int -> t
+
+val transitions : t -> int
+(** Total edge count (ε and labeled). *)
+
+val map_symbols : (Symbol.t -> Symbol.t) -> t -> t
+(** Relabel transitions (e.g. [Symbol.strip_label] for a profile view
+    that never saw DB-output labels). *)
+
+val restrict_reachable : t -> t
+(** Drop states unreachable from [start], renumbering densely. *)
+
+val accepts_factor : t -> Symbol.t list -> bool
+(** Direct subset simulation from the set of {e all} states: is the
+    sequence the label of some path? The empty sequence is always
+    accepted. *)

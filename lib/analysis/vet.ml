@@ -215,7 +215,7 @@ let facts ?(entry = "main") cfgs =
     cfgs;
   { entry; symbols = !symbols; pairs = List.sort_uniq compare !pairs }
 
-let check_coverage facts ~alphabet ~known_pairs =
+let check_coverage ?automaton ?(model_ngrams = []) facts ~alphabet ~known_pairs =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let observable_only = List.filter (function Symbol.Entry | Symbol.Exit -> false | _ -> true) in
@@ -254,4 +254,27 @@ let check_coverage facts ~alphabet ~known_pairs =
                 "statically possible pair (%s, %s) was never observed in training"
                 caller (Symbol.to_string sym))))
     facts.pairs;
+  (* The n-gram generalization of the pair check: every call sequence
+     the trained model supports must be a factor of the call-sequence
+     automaton's language, else the model was trained on traces this
+     program cannot emit. *)
+  (match automaton with
+  | None -> ()
+  | Some accepts ->
+      List.iter
+        (fun ngram ->
+          let ngram = observable_only ngram in
+          if ngram <> [] && not (accepts ngram) then
+            (* warning, not error: unlike the alphabet and known-pair
+               checks (whose facts were directly observed in training),
+               n-gram support is inferred from the trained weights, and
+               Baum-Welch smoothing can push mass above the support
+               threshold for sequences training never produced — a
+               modeling artifact, not proof of a program mismatch *)
+            add
+              (Diag.make Diag.Warning ~code:"profile-ngram-impossible"
+                 (Printf.sprintf
+                    "model-supported sequence [%s] is statically impossible"
+                    (String.concat "; " (List.map Symbol.to_string ngram)))))
+        model_ngrams);
   List.sort Diag.compare !diags

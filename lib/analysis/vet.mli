@@ -49,10 +49,23 @@ val facts : ?entry:string -> (string * Cfg.t) list -> facts
     [cfgs], every function is treated as a root (conservative). *)
 
 val check_coverage :
+  ?automaton:(Symbol.t list -> bool) ->
+  ?model_ngrams:Symbol.t list list ->
   facts ->
   alphabet:Symbol.t list ->
   known_pairs:(string * Symbol.t) list ->
   Diag.t list
 (** Cross-check a profile view against the static facts. The caller is
     responsible for projecting both sides into the profile's label view
-    (see [Adprom.Profile_check]). Entry/Exit symbols are ignored. *)
+    (see [Adprom.Profile_check]). Entry/Exit symbols are ignored.
+
+    When [automaton] (factor membership in the call-sequence automaton,
+    e.g. [Seqauto.accepts auto]) and [model_ngrams] (call sequences the
+    trained model gives real support, e.g.
+    [Adprom.Profile_check.model_bigrams]) are given, the pair check
+    generalizes to n-grams: a supported sequence outside the automaton's
+    language is a [Warning] ([profile-ngram-impossible]) — the model
+    puts real weight on behaviour the program cannot run. Warning and
+    not error, because n-gram support is inferred from the trained
+    weights (smoothing can lift never-seen sequences above the support
+    threshold), unlike the directly-observed alphabet and pair facts. *)

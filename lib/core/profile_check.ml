@@ -25,7 +25,46 @@ let project_facts (profile : Profile.t) (facts : Vet.facts) =
           (List.map (fun (c, s) -> (c, Symbol.strip_label s)) facts.Vet.pairs);
     }
 
-let coverage ?entry (profile : Profile.t) analysis =
+let automaton ?entry ?state_budget (profile : Profile.t) analysis =
+  Analysis.Seqauto.build ?entry ?state_budget
+    ~use_labels:profile.Profile.params.Profile.use_labels
+    analysis.Analysis.Analyzer.pruned_cfgs analysis.Analysis.Analyzer.callgraph
+
+(* Bigrams the trained model actually supports: (a, b) such that some
+   state pair (i, j) emits a from i, transitions i -> j, and emits b
+   from j, each with probability clearly above the Baum-Welch smoothing
+   floor (1e-6) — the floor keeps every cell non-zero, so "supported"
+   needs a coarser threshold. *)
+let support_epsilon = 1e-4
+
+let model_bigrams (profile : Profile.t) =
+  let model = profile.Profile.model in
+  let n = model.Hmm.n and m = model.Hmm.m in
+  let alphabet = profile.Profile.alphabet in
+  (* states emitting each symbol, states reachable from each state *)
+  let emitters =
+    Array.init m (fun o ->
+        List.filter
+          (fun i -> Mlkit.Matrix.get model.Hmm.b i o > support_epsilon)
+          (List.init n Fun.id))
+  in
+  let bigrams = ref [] in
+  for a = m - 1 downto 0 do
+    for b = m - 1 downto 0 do
+      let supported =
+        List.exists
+          (fun i ->
+            List.exists
+              (fun j -> Mlkit.Matrix.get model.Hmm.a i j > support_epsilon)
+              emitters.(b))
+          emitters.(a)
+      in
+      if supported then bigrams := [ alphabet.(a); alphabet.(b) ] :: !bigrams
+    done
+  done;
+  !bigrams
+
+let coverage ?entry ?automaton (profile : Profile.t) analysis =
   let facts =
     project_facts profile (Vet.facts ?entry analysis.Analysis.Analyzer.cfgs)
   in
@@ -33,24 +72,28 @@ let coverage ?entry (profile : Profile.t) analysis =
     Hashtbl.fold (fun p () acc -> p :: acc) profile.Profile.known_pairs []
     |> List.sort compare
   in
-  Vet.check_coverage facts
+  let automaton = Option.map (fun a sl -> Analysis.Seqauto.accepts a sl) automaton in
+  let model_ngrams =
+    match automaton with Some _ -> model_bigrams profile | None -> []
+  in
+  Vet.check_coverage ?automaton ~model_ngrams facts
     ~alphabet:(Array.to_list profile.Profile.alphabet)
     ~known_pairs
 
-let check ?entry profile analysis =
+let check ?entry ?automaton profile analysis =
   List.sort Diag.compare
     (Vet.check_program ?entry analysis.Analysis.Analyzer.cfgs
-    @ coverage ?entry profile analysis)
+    @ coverage ?entry ?automaton profile analysis)
 
 let static_pairs ?entry analysis =
   (Vet.facts ?entry analysis.Analysis.Analyzer.cfgs).Vet.pairs
 
-let apply policy ?entry profile analysis =
+let apply policy ?entry ?automaton profile analysis =
   match policy with
   | Off -> []
-  | Warn -> check ?entry profile analysis
+  | Warn -> check ?entry ?automaton profile analysis
   | Enforce -> (
-      let diags = check ?entry profile analysis in
+      let diags = check ?entry ?automaton profile analysis in
       match Diag.errors diags with
       | [] -> diags
       | errs ->

@@ -23,13 +23,39 @@ val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 (** ["off"], ["warn"], ["enforce"]. *)
 
+val automaton :
+  ?entry:string ->
+  ?state_budget:int ->
+  Profile.t ->
+  Analysis.Analyzer.t ->
+  Analysis.Seqauto.t
+(** Build the program's call-sequence automaton in the profile's label
+    view, on the pruned CFGs — the form {!Scoring.set_static_dfa}
+    expects and {!coverage}'s n-gram cross-check consumes. *)
+
+val model_bigrams : Profile.t -> Analysis.Symbol.t list list
+(** Observation bigrams the trained HMM gives real support (emission
+    and transition probabilities clearly above the Baum-Welch smoothing
+    floor) — the model's own 2-gram language, for the n-gram coverage
+    cross-check. *)
+
 val coverage :
-  ?entry:string -> Profile.t -> Analysis.Analyzer.t -> Analysis.Diag.t list
+  ?entry:string ->
+  ?automaton:Analysis.Seqauto.t ->
+  Profile.t ->
+  Analysis.Analyzer.t ->
+  Analysis.Diag.t list
 (** Only the profile-coverage cross-check
-    ({!Analysis.Vet.check_coverage} under the profile's label view). *)
+    ({!Analysis.Vet.check_coverage} under the profile's label view).
+    With [automaton], additionally cross-checks {!model_bigrams}
+    against the automaton's language ([profile-ngram-impossible]). *)
 
 val check :
-  ?entry:string -> Profile.t -> Analysis.Analyzer.t -> Analysis.Diag.t list
+  ?entry:string ->
+  ?automaton:Analysis.Seqauto.t ->
+  Profile.t ->
+  Analysis.Analyzer.t ->
+  Analysis.Diag.t list
 (** Program checks plus {!coverage}, sorted with
     {!Analysis.Diag.compare}. *)
 
@@ -39,7 +65,12 @@ val static_pairs : ?entry:string -> Analysis.Analyzer.t -> (string * Analysis.Sy
     name statically impossible pairs. *)
 
 val apply :
-  policy -> ?entry:string -> Profile.t -> Analysis.Analyzer.t -> Analysis.Diag.t list
+  policy ->
+  ?entry:string ->
+  ?automaton:Analysis.Seqauto.t ->
+  Profile.t ->
+  Analysis.Analyzer.t ->
+  Analysis.Diag.t list
 (** Run {!check} under the policy. [Off] does nothing and returns [].
     [Warn] returns the diagnostics for the caller to log. [Enforce]
     additionally @raise Invalid_argument when error-class findings

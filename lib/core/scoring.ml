@@ -128,6 +128,13 @@ type t = {
   mutable static_pairs : (string * Symbol.t, unit) Hashtbl.t option;
       (* statically possible pairs (profile label view); explanation
          gating only, never consulted by [classify] *)
+  mutable static_dfa : Analysis.Seqauto.t option;
+  mutable dfa_codes : int array;
+      (* profile alphabet code -> DFA symbol code; -1 = the automaton
+         never emits this symbol (any window containing it is rejected) *)
+  mutable gate_enforce : bool;
+  mutable gate_checks : int;
+  mutable gate_rejections : int;
   cache : cache;
   code_scratch : (int, int array) Hashtbl.t;  (* per-length, reused *)
   key_scratch : (int, int array) Hashtbl.t;
@@ -159,6 +166,11 @@ let create ?(cache_capacity = default_cache_capacity) profile =
       pair_stride = Array.length profile.Profile.alphabet + 2;
       pair_codes = Hashtbl.create 256;
       static_pairs = None;
+      static_dfa = None;
+      dfa_codes = [||];
+      gate_enforce = false;
+      gate_checks = 0;
+      gate_rejections = 0;
       cache = cache_create cache_capacity;
       code_scratch = Hashtbl.create 4;
       key_scratch = Hashtbl.create 4;
@@ -201,6 +213,76 @@ let set_static_pairs t pairs =
       t.static_pairs <- Some tbl
 
 let static_pairs_loaded t = t.static_pairs <> None
+
+(* --- the call-sequence automaton gate ----------------------------------- *)
+
+let set_static_dfa t auto =
+  (match auto with
+  | None ->
+      t.static_dfa <- None;
+      t.dfa_codes <- [||]
+  | Some a ->
+      if a.Analysis.Seqauto.use_labels <> t.use_labels then
+        invalid_arg
+          "Scoring.set_static_dfa: automaton label view differs from the profile's";
+      t.static_dfa <- Some a;
+      t.dfa_codes <-
+        Array.map
+          (fun sym ->
+            match Analysis.Dfa.sym_code a.Analysis.Seqauto.dfa sym with
+            | Some c -> c
+            | None -> -1)
+          t.profile.Profile.alphabet);
+  (* memoized verdicts may predate the gate *)
+  cache_clear t.cache
+
+let static_dfa_loaded t = t.static_dfa <> None
+
+let set_gate_enforce t on =
+  if on <> t.gate_enforce then begin
+    t.gate_enforce <- on;
+    cache_clear t.cache
+  end
+
+let gate_enforced t = t.gate_enforce
+let gate_checks t = t.gate_checks
+let gate_rejections t = t.gate_rejections
+
+(* Walk the window's profile codes through the DFA; [true] = the walk
+   died, i.e. the static phase proved no execution emits this window. *)
+let dfa_walk_dies t dfa codes ~len =
+  let rec go state i =
+    if i >= len then false
+    else
+      let dc = Array.unsafe_get t.dfa_codes (Array.unsafe_get codes i) in
+      if dc < 0 then true
+      else
+        let state' = Analysis.Dfa.step dfa state dc in
+        if state' < 0 then true else go state' (i + 1)
+  in
+  go (Analysis.Dfa.start dfa) 0
+
+(* The enforce-mode gate, consulted by [classify] on the known-symbols
+   path before the memo: rejected windows short-circuit to an anomalous
+   verdict with no forward pass and never enter the memo. *)
+let gate_rejects t codes ~len =
+  match t.static_dfa with
+  | Some a when t.gate_enforce ->
+      t.gate_checks <- t.gate_checks + 1;
+      let r = dfa_walk_dies t a.Analysis.Seqauto.dfa codes ~len in
+      if r then t.gate_rejections <- t.gate_rejections + 1;
+      r
+  | Some _ | None -> false
+
+(* Flag chosen directly (not via the threshold comparison) so a rejected
+   window is anomalous whatever the threshold is. *)
+let gate_verdict ~unknown_pair ~labeled_any =
+  let flag =
+    if labeled_any then Data_leak
+    else if unknown_pair <> None then Out_of_context
+    else Anomalous
+  in
+  { flag; score = neg_infinity; unknown_symbol = false; unknown_pair }
 
 let set_threshold t th =
   if not (Float.equal th t.threshold) then begin
@@ -271,6 +353,8 @@ let classify t window =
          windows bypass the memo (codes collide on -1). *)
       make_verdict t ~score:neg_infinity ~unknown_symbol:true
         ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
+    else if gate_rejects t codes ~len then
+      gate_verdict ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
     else begin
       let key =
         if t.track_callers then begin
@@ -307,6 +391,7 @@ type gate =
   | Unknown_symbol
   | Unknown_pair of (string * Symbol.t)
   | Statically_impossible_pair of (string * Symbol.t)
+  | Statically_impossible_window
   | Below_threshold
 
 type contribution = {
@@ -331,6 +416,7 @@ let gate_to_string = function
   | Statically_impossible_pair (caller, sym) ->
       Printf.sprintf "statically-impossible-pair(%s from %s)" (Symbol.to_string sym)
         caller
+  | Statically_impossible_window -> "statically-impossible-window"
   | Below_threshold -> "below-threshold"
 
 let explain ?(top = 3) t window =
@@ -366,6 +452,30 @@ let explain ?(top = 3) t window =
     let sorted =
       List.stable_sort (fun a b -> compare b.surprisal a.surprisal) entries
     in
+    (* Walk the prepared window through the call-sequence automaton:
+       [true] = no execution of the program can emit this sequence.
+       Counted into the gate counters — in explain-only deployments this
+       is where the automaton is consulted at all. *)
+    let window_impossible () =
+      match t.static_dfa with
+      | None -> false
+      | Some a ->
+          let dfa = a.Analysis.Seqauto.dfa in
+          t.gate_checks <- t.gate_checks + 1;
+          let n = Array.length w.Window.obs in
+          let rec go state i =
+            if i >= n then false
+            else
+              match Analysis.Dfa.sym_code dfa w.Window.obs.(i) with
+              | None -> true
+              | Some c ->
+                  let state' = Analysis.Dfa.step dfa state c in
+                  if state' < 0 then true else go state' (i + 1)
+          in
+          let r = go (Analysis.Dfa.start dfa) 0 in
+          if r then t.gate_rejections <- t.gate_rejections + 1;
+          r
+    in
     let gate =
       if v.unknown_symbol then Unknown_symbol
       else
@@ -378,7 +488,9 @@ let explain ?(top = 3) t window =
             | Some tbl when not (Hashtbl.mem tbl (caller, sym)) ->
                 Statically_impossible_pair p
             | _ -> Unknown_pair p)
-        | None -> Below_threshold
+        | None ->
+            if window_impossible () then Statically_impossible_window
+            else Below_threshold
     in
     let margin =
       (* distance past the gate that fired: how far below threshold the
@@ -386,7 +498,9 @@ let explain ?(top = 3) t window =
          explanation's margin is always non-negative *)
       match gate with
       | Below_threshold -> t.threshold -. v.score
-      | Unknown_symbol | Unknown_pair _ | Statically_impossible_pair _ -> infinity
+      | Unknown_symbol | Unknown_pair _ | Statically_impossible_pair _
+      | Statically_impossible_window ->
+          infinity
     in
     Some
       {
@@ -423,6 +537,11 @@ let extend t windows =
   (* Extension keeps the program (and its label view) fixed, so the
      static facts stay valid for the new engine. *)
   t'.static_pairs <- t.static_pairs;
+  (match t.static_dfa with
+  | Some a ->
+      set_static_dfa t' (Some a);
+      set_gate_enforce t' t.gate_enforce
+  | None -> ());
   t'
 
 (* --- per-profile engine cache (domain-local) ---------------------------- *)
@@ -516,6 +635,16 @@ module Stream = struct
     if !unknown then
       make_verdict eng ~score:neg_infinity ~unknown_symbol:true
         ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
+    else if
+      (match eng.static_dfa with
+      | Some _ when eng.gate_enforce ->
+          let codes = scratch_of eng.code_scratch len in
+          for i = 0 to len - 1 do
+            codes.(i) <- st.s_codes.(slot i)
+          done;
+          gate_rejects eng codes ~len
+      | Some _ | None -> false)
+    then gate_verdict ~unknown_pair:(unknown_pair ()) ~labeled_any:!labeled_any
     else begin
       let key =
         if eng.track_callers then begin

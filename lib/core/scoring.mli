@@ -68,6 +68,40 @@ val set_static_pairs : t -> (string * Analysis.Symbol.t) list option -> unit
 
 val static_pairs_loaded : t -> bool
 
+(** {1 The call-sequence automaton gate}
+
+    {!set_static_dfa} loads an {!Analysis.Seqauto} automaton whose
+    language over-approximates the library-call sequences the program
+    can emit. Loaded but not enforced ("explain" mode), it only refines
+    {!explain} output ({!Statically_impossible_window}) — {!classify}
+    verdicts stay bit-for-bit identical to an engine without it. With
+    {!set_gate_enforce}[ true], {!classify} walks the window through the
+    DFA {e before} the memo and the forward pass: a rejected window —
+    one the static phase proved no execution can produce — short-circuits
+    to an anomalous verdict ([score = neg_infinity], flag by the usual
+    label/pair evidence) without paying the O(window·n²) pass, and never
+    enters the memo. *)
+
+val set_static_dfa : t -> Analysis.Seqauto.t option -> unit
+(** Load ([Some]) or clear ([None]) the automaton; flushes the memo.
+    @raise Invalid_argument when the automaton was built under a
+    different label view than the profile's. *)
+
+val static_dfa_loaded : t -> bool
+
+val set_gate_enforce : t -> bool -> unit
+(** Toggle enforce mode (default off); flushes the memo on change.
+    Without a loaded automaton, enforce mode gates nothing. *)
+
+val gate_enforced : t -> bool
+
+val gate_checks : t -> int
+(** DFA walks performed — enforce-mode [classify] gates plus
+    explain-mode window checks. *)
+
+val gate_rejections : t -> int
+(** Walks that died: windows proven statically impossible. *)
+
 val classify : t -> Window.t -> verdict
 (** Score and flag one window; identical to
     [Detector.reference_classify (profile t)] (with the engine's
@@ -95,6 +129,10 @@ type gate =
           mismatch rather than behavioural drift; requires
           {!set_static_pairs}, otherwise such pairs report as
           {!Unknown_pair} *)
+  | Statically_impossible_window
+      (** every symbol and pair is known, but the call-sequence
+          automaton proves no execution of the program emits this
+          window in this order — requires {!set_static_dfa} *)
   | Below_threshold  (** HMM likelihood under the detection threshold *)
 
 type contribution = {

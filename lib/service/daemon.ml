@@ -5,6 +5,19 @@ module Otrace = Adprom_obs.Trace
 module Olog = Adprom_obs.Log
 module Oring = Adprom_obs.Ring
 
+type gate_mode = Gate_off | Gate_explain | Gate_enforce
+
+let gate_mode_to_string = function
+  | Gate_off -> "off"
+  | Gate_explain -> "explain"
+  | Gate_enforce -> "enforce"
+
+let gate_mode_of_string = function
+  | "off" -> Some Gate_off
+  | "explain" -> Some Gate_explain
+  | "enforce" -> Some Gate_enforce
+  | _ -> None
+
 type message =
   | Event of Codec.event
   | Shed of int  (* discard this session's scorer; ignore later events *)
@@ -79,11 +92,17 @@ let flag_counter_names =
 
 let shard_of t session = Hashtbl.hash session mod Array.length t.shards
 
-let worker ~idx ~profile ~static_pairs ~keep_verdicts ~metrics ~alerts ~ring shard =
+let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
+    ~metrics ~alerts ~ring shard =
   (* one compiled engine per worker domain: every session of this shard
      shares its interned tables and verdict memo *)
   let engine = Scoring.create profile in
   Scoring.set_static_pairs engine static_pairs;
+  (match static_auto with
+  | Some auto ->
+      Scoring.set_static_dfa engine (Some auto);
+      Scoring.set_gate_enforce engine gate_enforce
+  | None -> ());
   let scorers : (int, Scorer.t) Hashtbl.t = Hashtbl.create 64 in
   let shed_here : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let discarded = ref [] in
@@ -93,7 +112,12 @@ let worker ~idx ~profile ~static_pairs ~keep_verdicts ~metrics ~alerts ~ring sha
   let c_hits = Metrics.counter metrics "adprom_score_cache_hits_total" in
   let c_misses = Metrics.counter metrics "adprom_score_cache_misses_total" in
   let c_scorer_errors = Metrics.counter metrics "adprom_scorer_errors_total" in
+  let c_gate_checks = Metrics.counter metrics "adprom_dfa_gate_checks_total" in
+  let c_gate_rejections =
+    Metrics.counter metrics "adprom_dfa_gate_rejections_total"
+  in
   let seen_hits = ref 0 and seen_misses = ref 0 in
+  let seen_gate_checks = ref 0 and seen_gate_rejections = ref 0 in
   let sync_cache_counters () =
     let h = Scoring.cache_hits engine and m = Scoring.cache_misses engine in
     if h > !seen_hits then begin
@@ -103,6 +127,15 @@ let worker ~idx ~profile ~static_pairs ~keep_verdicts ~metrics ~alerts ~ring sha
     if m > !seen_misses then begin
       Metrics.incr ~by:(m - !seen_misses) c_misses;
       seen_misses := m
+    end;
+    let gc = Scoring.gate_checks engine and gr = Scoring.gate_rejections engine in
+    if gc > !seen_gate_checks then begin
+      Metrics.incr ~by:(gc - !seen_gate_checks) c_gate_checks;
+      seen_gate_checks := gc
+    end;
+    if gr > !seen_gate_rejections then begin
+      Metrics.incr ~by:(gr - !seen_gate_rejections) c_gate_rejections;
+      seen_gate_rejections := gr
     end
   in
   let account session scorer verdict =
@@ -216,12 +249,21 @@ let default_ring_capacity = 256
 
 let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     ?(ring_capacity = default_ring_capacity) ?metrics ?alerts ?vet_against
-    ?(vet_policy = Adprom.Profile_check.Warn) profile =
+    ?(vet_policy = Adprom.Profile_check.Warn) ?(static_gate = Gate_explain)
+    profile =
   if shards < 1 then invalid_arg "Daemon.create: need at least one shard";
   if queue_capacity < 0 then invalid_arg "Daemon.create: negative queue capacity";
   if ring_capacity < 0 then invalid_arg "Daemon.create: negative ring capacity";
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let alerts = match alerts with Some a -> a | None -> Alerts.create () in
+  (* The call-sequence automaton is built once, before any domain
+     spawns; workers load the compiled DFA into their engines. *)
+  let static_auto =
+    match (vet_against, static_gate) with
+    | Some analysis, (Gate_explain | Gate_enforce) ->
+        Some (Adprom.Profile_check.automaton profile analysis)
+    | Some _, Gate_off | None, _ -> None
+  in
   (* Vet the profile against the program before any domain spawns:
      under [Enforce] a failing profile raises here (no workers to tear
      down yet); under [Warn] findings are logged and counted. *)
@@ -230,7 +272,10 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     | None -> None
     | Some analysis ->
         let module Diag = Analysis.Diag in
-        let diags = Adprom.Profile_check.apply vet_policy profile analysis in
+        let diags =
+          Adprom.Profile_check.apply vet_policy ?automaton:static_auto profile
+            analysis
+        in
         let errors = List.length (Diag.errors diags) in
         let warnings = List.length (Diag.warnings diags) in
         let c_err = Metrics.counter metrics "adprom_profile_vet_errors_total" in
@@ -260,6 +305,8 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
   ignore (Metrics.counter metrics "adprom_score_cache_hits_total");
   ignore (Metrics.counter metrics "adprom_score_cache_misses_total");
   ignore (Metrics.counter metrics "adprom_scorer_errors_total");
+  ignore (Metrics.counter metrics "adprom_dfa_gate_checks_total");
+  ignore (Metrics.counter metrics "adprom_dfa_gate_rejections_total");
   let shard_array =
     Array.init shards (fun i ->
         {
@@ -278,8 +325,9 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     Array.mapi
       (fun idx shard ->
         Domain.spawn (fun () ->
-            worker ~idx ~profile ~static_pairs ~keep_verdicts ~metrics ~alerts
-              ~ring:rings.(idx) shard))
+            worker ~idx ~profile ~static_pairs ~static_auto
+              ~gate_enforce:(static_gate = Gate_enforce) ~keep_verdicts ~metrics
+              ~alerts ~ring:rings.(idx) shard))
       shard_array
   in
   {

@@ -37,6 +37,20 @@ type summary = {
 
 type admission = Accepted | Rejected of { newly_shed : bool }
 
+type gate_mode =
+  | Gate_off  (** no automaton: PR 4 behaviour exactly *)
+  | Gate_explain
+      (** load the DFA for explanations and gate metrics only — classify
+          verdicts stay bit-for-bit identical to [Gate_off] *)
+  | Gate_enforce
+      (** DFA-rejected windows short-circuit to an anomalous verdict
+          with no forward pass ({!Adprom.Scoring.set_gate_enforce}) *)
+
+val gate_mode_to_string : gate_mode -> string
+
+val gate_mode_of_string : string -> gate_mode option
+(** ["off"], ["explain"], ["enforce"]. *)
+
 type t
 
 val create :
@@ -48,6 +62,7 @@ val create :
   ?alerts:Alerts.t ->
   ?vet_against:Analysis.Analyzer.t ->
   ?vet_policy:Adprom.Profile_check.policy ->
+  ?static_gate:gate_mode ->
   Adprom.Profile.t ->
   t
 (** Spawn the worker domains. Defaults: 4 shards, queue capacity 4096,
@@ -65,6 +80,15 @@ val create :
     [Enforce] refuses a profile with error-class findings). It also
     loads the statically possible pairs into every worker engine, so
     incident explanations can name [statically-impossible-pair] gates.
+
+    With [vet_against] and [static_gate] (default [Gate_explain]), the
+    program's call-sequence automaton ({!Analysis.Seqauto}) is compiled
+    once before the domains spawn, loaded into every worker engine, and
+    used for the vet's n-gram coverage cross-check. DFA walks and
+    rejections are exported as [adprom_dfa_gate_checks_total] /
+    [adprom_dfa_gate_rejections_total] (their ratio is the gate hit
+    rate). Without [vet_against] there is no program to build the
+    automaton from and [static_gate] is inert.
 
     @raise Invalid_argument on [shards < 1], a negative capacity, or a
     profile failing vet under [Enforce]. *)

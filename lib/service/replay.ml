@@ -10,10 +10,10 @@ type outcome = {
 }
 
 let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts ?vet_against
-    ?vet_policy profile stream =
+    ?vet_policy ?static_gate profile stream =
   let daemon =
     Daemon.create ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts
-      ?vet_against ?vet_policy profile
+      ?vet_against ?vet_policy ?static_gate profile
   in
   let t0 = Unix.gettimeofday () in
   Array.iter (fun ev -> ignore (Daemon.ingest daemon ev)) stream;

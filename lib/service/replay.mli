@@ -23,12 +23,15 @@ val run :
   ?alerts:Alerts.t ->
   ?vet_against:Analysis.Analyzer.t ->
   ?vet_policy:Adprom.Profile_check.policy ->
+  ?static_gate:Daemon.gate_mode ->
   Adprom.Profile.t ->
   Codec.event array ->
   outcome
-(** [vet_against]/[vet_policy] are passed through to {!Daemon.create}:
-    the profile is vetted against the program's static analysis before
-    replay starts. *)
+(** [vet_against]/[vet_policy]/[static_gate] are passed through to
+    {!Daemon.create}: the profile is vetted against the program's static
+    analysis (and, under [Gate_explain]/[Gate_enforce], its
+    call-sequence automaton is loaded into the workers) before replay
+    starts. *)
 
 val of_text :
   ?shards:int ->

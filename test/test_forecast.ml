@@ -264,6 +264,51 @@ let test_aggregate_recursion () =
        (fun s -> match s with Symbol.Func _ -> false | _ -> true)
        (Ctm.symbols a.Analysis.Analyzer.pctm))
 
+(* Regression for the branch-feasibility prepass: a constantly-false
+   branch is pruned before the forecast, so the dead arm's call never
+   enters the pCTM, its node disappears from the pruned graph's
+   reachability, and the sharpened pCTM still conserves flow. *)
+let test_pruned_branch_excluded () =
+  let src =
+    {|
+      fun main() {
+        let flag = 0;
+        lib_a("x");
+        if (flag == 1) { secret("s"); }
+        lib_b("y");
+      }
+    |}
+  in
+  let a = Analysis.Analyzer.analyze (Parser.parse_program src) in
+  let p = a.Analysis.Analyzer.pctm in
+  let call_names =
+    List.sort_uniq compare (List.map Symbol.name (Ctm.calls p))
+  in
+  Alcotest.(check (list string))
+    "pCTM excludes the dead arm's call" [ "lib_a"; "lib_b" ] call_names;
+  Alcotest.(check bool) "sharpened pCTM still conserved" true (Ctm.conserved p);
+  Alcotest.(check bool)
+    "the prepass reports removed edges" true
+    (Analysis.Prune.total_removed a.Analysis.Analyzer.pruning > 0);
+  (* The dead arm had positive reach in the original graph; in the
+     pruned graph its node is gone and the exit still has reach 1. *)
+  let orig = List.assoc "main" a.Analysis.Analyzer.cfgs in
+  let pruned = List.assoc "main" a.Analysis.Analyzer.pruned_cfgs in
+  let dead =
+    List.filter
+      (fun id -> not (List.mem id (Cfg.node_ids pruned)))
+      (Cfg.node_ids orig)
+  in
+  Alcotest.(check bool) "a node was dropped" true (dead <> []);
+  let orig_reach = Analysis.Forecast.reachability orig in
+  Alcotest.(check bool)
+    "the dropped node was reachable before pruning" true
+    (List.for_all (fun id -> List.assoc id orig_reach > 0.0) dead);
+  let reach = Analysis.Forecast.reachability pruned in
+  Alcotest.(check (float 1e-9))
+    "exit reach on the pruned graph" 1.0
+    (List.assoc pruned.Cfg.exit reach)
+
 let () =
   Alcotest.run "forecast"
     [
@@ -277,6 +322,8 @@ let () =
           Alcotest.test_case "to_dense" `Quick test_ctm_to_dense;
           Alcotest.test_case "aggregation with a self pair" `Quick test_aggregate_self_pair;
           Alcotest.test_case "aggregation with recursion" `Quick test_aggregate_recursion;
+          Alcotest.test_case "constant-false branch pruned from forecast" `Quick
+            test_pruned_branch_excluded;
         ] );
       ( "fig3",
         [

@@ -191,6 +191,9 @@ let prop_explain_gate_matches_reference =
                  | Scoring.Unknown_pair p | Scoring.Statically_impossible_pair p ->
                      (not reference.Detector.unknown_symbol)
                      && reference.Detector.unknown_pair = Some p
+                 | Scoring.Statically_impossible_window ->
+                     (* this engine has no automaton loaded *)
+                     false
                  | Scoring.Below_threshold ->
                      (not reference.Detector.unknown_symbol)
                      && reference.Detector.unknown_pair = None
