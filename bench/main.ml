@@ -24,6 +24,7 @@ let experiments =
     ("service-throughput", Exp_service.run);
     ("vet", Exp_vet.run);
     ("seqauto", Exp_seqauto.run);
+    ("qsig", Exp_qsig.run);
     ("drift", Exp_operations.drift);
     ("profile-size", Exp_profile_size.run);
     ("ablation-cluster", Exp_ablation.cluster);

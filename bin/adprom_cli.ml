@@ -436,6 +436,36 @@ let static_gate_arg =
            verdicts unchanged), or $(b,enforce) (statically impossible windows \
            short-circuit to an anomalous verdict without a forward pass).")
 
+let qsig_mode_conv =
+  let parse s =
+    match Service.Daemon.qsig_mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown qsig mode %S (off|warn|enforce)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m -> Format.pp_print_string ppf (Service.Daemon.qsig_mode_to_string m) )
+
+let qsig_mode_arg =
+  Arg.(
+    value
+    & opt qsig_mode_conv Service.Daemon.Qsig_off
+    & info [ "qsig" ] ~docv:"MODE"
+        ~doc:
+          "Query-signature detection axis over the stream's executed-query lines: \
+           $(b,off) (ignore them — sequence verdicts bit-for-bit unchanged), \
+           $(b,warn) (check under the flexible constraint policy; anomalies become \
+           incidents and metrics), or $(b,enforce) (strict policy — a superset of \
+           warn's anomalies).")
+
+let qsig_profile_path_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "qsig-profile" ] ~docv:"FILE"
+        ~doc:"Trained query-signature profile (see `adprom qsig train`).")
+
 (* --- observability flags (shared by replay / serve) -------------------- *)
 
 let trace_out_arg =
@@ -494,19 +524,40 @@ let print_events_tail n (events : Adprom_obs.Log.event list) =
     else List.iter (fun e -> print_endline (Adprom_obs.Log.event_to_string e)) tail
   end
 
-let print_summary ?(labels = []) (summary : Service.Daemon.summary) =
+let print_summary ?(labels = []) ?alerts (summary : Service.Daemon.summary) =
   let label s = match List.assoc_opt s labels with Some l -> l | None -> "" in
-  Adprom.Report.print
-    ~header:[ "session"; "label"; "events"; "windows"; "verdict" ]
+  let qsig_on =
+    List.exists
+      (fun (r : Service.Daemon.session_report) -> r.Service.Daemon.qsig_checks > 0)
+      summary.Service.Daemon.sessions
+  in
+  let header = [ "session"; "label"; "events"; "windows"; "verdict" ] in
+  let header = if qsig_on then header @ [ "queries"; "axes" ] else header in
+  Adprom.Report.print ~header
     (List.map
        (fun (r : Service.Daemon.session_report) ->
-         [
-           string_of_int r.Service.Daemon.session;
-           label r.Service.Daemon.session;
-           string_of_int r.Service.Daemon.events;
-           string_of_int r.Service.Daemon.windows;
-           Adprom.Detector.flag_to_string r.Service.Daemon.worst;
-         ])
+         let row =
+           [
+             string_of_int r.Service.Daemon.session;
+             label r.Service.Daemon.session;
+             string_of_int r.Service.Daemon.events;
+             string_of_int r.Service.Daemon.windows;
+             Adprom.Detector.flag_to_string r.Service.Daemon.worst;
+           ]
+         in
+         if not qsig_on then row
+         else
+           row
+           @ [
+               Printf.sprintf "%d/%d anomalous" r.Service.Daemon.qsig_anomalies
+                 r.Service.Daemon.qsig_checks;
+               (match alerts with
+               | Some a ->
+                   Service.Alerts.fused_to_string
+                     (Service.Alerts.fused_axes a
+                        ~session:r.Service.Daemon.session)
+               | None -> "");
+             ])
        summary.Service.Daemon.sessions);
   if summary.Service.Daemon.shed <> [] then begin
     Printf.printf "\nShed sessions (queue overload — whole sessions, never single events):\n";
@@ -522,7 +573,8 @@ let print_summary ?(labels = []) (summary : Service.Daemon.summary) =
     summary.Service.Daemon.events_dropped
 
 let print_outcome ?labels ?(log_tail = 0) (outcome : Service.Replay.outcome) =
-  print_summary ?labels outcome.Service.Replay.summary;
+  print_summary ?labels ~alerts:outcome.Service.Replay.alerts
+    outcome.Service.Replay.summary;
   Printf.printf "\n--- incident log (%d incidents) ---\n"
     (Service.Alerts.count outcome.Service.Replay.alerts);
   (match Service.Alerts.to_string outcome.Service.Replay.alerts with
@@ -542,15 +594,37 @@ let record_cmd_run app_name output sessions seed =
       let cases = app.Adprom.Pipeline.test_cases in
       if cases = [] then `Error (false, "app has no test cases")
       else begin
-        let traces =
+        let runs =
           List.init sessions (fun i ->
               let tc = List.nth cases (i mod List.length cases) in
-              fst (Adprom.Pipeline.run_case ~analysis app tc))
+              Adprom.Pipeline.run_case ~analysis app tc)
         in
         let rng = Mlkit.Rng.create seed in
-        let stream = Adprom.Sessions.interleave ~rng traces in
-        Service.Codec.save stream output;
-        Printf.printf "%d sessions, %d events -> %s\n" sessions (Array.length stream) output;
+        let stream = Adprom.Sessions.interleave ~rng (List.map fst runs) in
+        (* executed-query lines ride along after the call events: only
+           per-session query order matters, and pre-qsig consumers skip
+           them at decode *)
+        let queries =
+          List.concat
+            (List.mapi
+               (fun i (_, (o : Runtime.Interp.outcome)) ->
+                 List.map
+                   (fun (sql, rows) ->
+                     Service.Codec.Query
+                       { Service.Codec.q_session = i; rows; sql })
+                   o.Runtime.Interp.query_log)
+               runs)
+        in
+        let items =
+          Array.append
+            (Array.map (fun ev -> Service.Codec.Call ev) stream)
+            (Array.of_list queries)
+        in
+        let oc = open_out_bin output in
+        output_string oc (Service.Codec.encode_items items);
+        close_out oc;
+        Printf.printf "%d sessions, %d events, %d queries -> %s\n" sessions
+          (Array.length stream) (List.length queries) output;
         `Ok ()
       end
 
@@ -568,14 +642,21 @@ let record_cmd =
     Term.(ret (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg))
 
 let replay_cmd_run profile_path events_path shards capacity verify vet_program
-    vet_policy static_gate log_level log_tail trace_out =
+    vet_policy static_gate qsig_mode qsig_profile_path log_level log_tail
+    trace_out =
   obs_setup log_level trace_out;
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
   | Ok profile -> (
-      match Service.Codec.load events_path with
+      match Service.Codec.decode_mixed (read_file events_path) with
       | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
-      | Ok stream -> (
+      | Ok items -> (
+          let stream =
+            Array.of_list
+              (List.filter_map
+                 (function Service.Codec.Call ev -> Some ev | _ -> None)
+                 (Array.to_list items))
+          in
           let vet_against =
             match vet_program with
             | None -> Ok None
@@ -586,13 +667,31 @@ let replay_cmd_run profile_path events_path shards capacity verify vet_program
                 | analysis -> Ok (Some analysis)
                 | exception e -> Error (Printexc.to_string e))
           in
-          match vet_against with
-          | Error msg ->
+          let qsig_profile =
+            match qsig_profile_path with
+            | None -> Ok None
+            | Some p -> (
+                match Adprom_qsig.Profile.load p with
+                | Ok qp -> Ok (Some qp)
+                | Error e -> Error e)
+          in
+          match (vet_against, qsig_profile) with
+          | Error msg, _ ->
               `Error (false, Printf.sprintf "cannot analyze --vet-program: %s" msg)
-          | Ok vet_against ->
+          | _, Error msg ->
+              `Error (false, Printf.sprintf "cannot load --qsig-profile: %s" msg)
+          | Ok vet_against, Ok qsig_profile ->
           match
-            Service.Replay.run ~shards ~queue_capacity:capacity ?vet_against
-              ~vet_policy ~static_gate profile stream
+            (* with the axis off, run over the pure event stream: the
+               outcome is bit-for-bit the pre-qsig replay *)
+            match qsig_mode with
+            | Service.Daemon.Qsig_off ->
+                Service.Replay.run ~shards ~queue_capacity:capacity ?vet_against
+                  ~vet_policy ~static_gate profile stream
+            | _ ->
+                Service.Replay.run_items ~shards ~queue_capacity:capacity
+                  ?vet_against ~vet_policy ~static_gate ~qsig_mode ?qsig_profile
+                  profile items
           with
           | exception Invalid_argument msg -> `Error (false, msg)
           | outcome ->
@@ -647,11 +746,12 @@ let replay_cmd =
     Term.(
       ret
         (const replay_cmd_run $ profile_arg $ events_file_arg $ shards_arg $ capacity_arg
-       $ verify_flag $ vet_program_arg $ vet_policy_arg $ static_gate_arg $ log_level_arg
+       $ verify_flag $ vet_program_arg $ vet_policy_arg $ static_gate_arg
+       $ qsig_mode_arg $ qsig_profile_path_arg $ log_level_arg
        $ log_tail_arg $ trace_out_arg))
 
-let serve_cmd_run app_name shards capacity seed vet_policy static_gate log_level
-    log_tail trace_out =
+let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
+    log_level log_tail trace_out =
   obs_setup log_level trace_out;
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
@@ -716,9 +816,29 @@ let serve_cmd_run app_name shards capacity seed vet_policy static_gate log_level
                 (Adprom.Audit.audit ~qsig o)
           | None -> ())
         sessions;
+      (* the executed queries of every session join the host stream, so
+         the daemon's query axis sees the same traffic the auditor did *)
+      let items =
+        Array.append
+          (Array.map (fun ev -> Service.Codec.Call ev) stream)
+          (Array.of_list
+             (List.concat
+                (List.mapi
+                   (fun i (_, _, outcome) ->
+                     match outcome with
+                     | None -> []
+                     | Some (o : Runtime.Interp.outcome) ->
+                         List.map
+                           (fun (sql, rows) ->
+                             Service.Codec.Query
+                               { Service.Codec.q_session = i; rows; sql })
+                           o.Runtime.Interp.query_log)
+                   sessions)))
+      in
       match
-        Service.Replay.run ~shards ~queue_capacity:capacity ~alerts
-          ~vet_against:analysis ~vet_policy ~static_gate profile stream
+        Service.Replay.run_items ~shards ~queue_capacity:capacity ~alerts
+          ~vet_against:analysis ~vet_policy ~static_gate ~qsig_mode
+          ~qsig_profile:(Adprom.Qsig.profile qsig) profile items
       with
       | exception Invalid_argument msg -> `Error (false, msg)
       | outcome ->
@@ -736,8 +856,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
-       $ vet_policy_arg $ static_gate_arg $ log_level_arg $ log_tail_arg
-       $ trace_out_arg))
+       $ vet_policy_arg $ static_gate_arg $ qsig_mode_arg $ log_level_arg
+       $ log_tail_arg $ trace_out_arg))
 
 (* --- automaton --------------------------------------------------------- *)
 
@@ -935,6 +1055,134 @@ let explain_cmd =
         (const explain_cmd_run $ profile_arg $ events_file_arg $ explain_session_arg
        $ window_index_arg $ top_arg))
 
+(* --- qsig: the query-signature detection axis -------------------------- *)
+
+let qsig_train_cmd_run app_name output =
+  match List.assoc_opt app_name (builtin_apps ()) with
+  | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
+  | Some app ->
+      Printf.printf "Collecting query logs and training %s ...\n%!"
+        app.Adprom.Pipeline.name;
+      let qsig = Adprom.Pipeline.train_qsig app in
+      let profile = Adprom.Qsig.profile qsig in
+      Adprom_qsig.Profile.save profile output;
+      Printf.printf
+        "Query-signature profile written to %s (%d signatures, %d malformed)\n"
+        output
+        (Adprom_qsig.Profile.cardinality profile)
+        (Adprom_qsig.Profile.malformed_count profile);
+      `Ok ()
+
+let qsig_profile_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"QSIG_PROFILE"
+        ~doc:"Serialized query-signature profile (see `adprom qsig train`).")
+
+let qsig_show_cmd_run profile_path format =
+  match Adprom_qsig.Profile.load profile_path with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load qsig profile: %s" msg)
+  | Ok profile ->
+      (match format with
+      | `Json -> print_endline (Adprom_qsig.Profile.to_json profile)
+      | `Text ->
+          Printf.printf "%d signatures, %d malformed training queries\n"
+            (Adprom_qsig.Profile.cardinality profile)
+            (Adprom_qsig.Profile.malformed_count profile);
+          Adprom_qsig.Profile.fold
+            (fun signature (e : Adprom_qsig.Profile.entry) () ->
+              Printf.printf "\n%s\n  seen %d times, %d slot(s)" signature
+                e.Adprom_qsig.Profile.count
+                (Array.length e.Adprom_qsig.Profile.slots);
+              let band = e.Adprom_qsig.Profile.band in
+              if band.Adprom_qsig.Constraints.samples > 0 then
+                Printf.printf ", result rows in [%d, %d] over %d sample(s)"
+                  band.Adprom_qsig.Constraints.blo
+                  band.Adprom_qsig.Constraints.bhi
+                  band.Adprom_qsig.Constraints.samples;
+              print_newline ();
+              Array.iteri
+                (fun i slot ->
+                  Printf.printf "  slot %d: %s\n" i
+                    (Adprom_qsig.Constraints.slot_to_string slot))
+                e.Adprom_qsig.Profile.slots)
+            profile ());
+      `Ok ()
+
+let qsig_policy_conv =
+  let parse s =
+    match Adprom_qsig.Constraints.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (strict|flexible)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf p ->
+        Format.pp_print_string ppf (Adprom_qsig.Constraints.policy_to_string p) )
+
+let qsig_policy_arg =
+  Arg.(
+    value
+    & opt qsig_policy_conv Adprom_qsig.Constraints.Strict
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Constraint policy: $(b,strict) (exact trained sets/ranges) or \
+           $(b,flexible) (trained ranges widened by their own span).")
+
+let qsig_sql_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "sql" ] ~docv:"SQL" ~doc:"The executed query text to check.")
+
+let qsig_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rows" ] ~docv:"N"
+        ~doc:"Result cardinality the DBMS reported (enables the band check).")
+
+let qsig_check_cmd_run profile_path sql rows policy =
+  match Adprom_qsig.Profile.load profile_path with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load qsig profile: %s" msg)
+  | Ok profile ->
+      let engine = Adprom_qsig.Engine.create ~policy profile in
+      let verdict = Adprom_qsig.Engine.check ?rows engine sql in
+      print_endline (Adprom_qsig.Engine.verdict_to_string verdict);
+      if verdict.Adprom_qsig.Engine.anomalous then
+        `Error (false, "query is anomalous under the trained profile")
+      else `Ok ()
+
+let qsig_cmd =
+  Cmd.group
+    (Cmd.info "qsig"
+       ~doc:
+         "The query-signature detection axis: train per-signature constraint \
+          profiles from an app's normal query logs, inspect them, and check \
+          individual executed queries.")
+    [
+      Cmd.v
+        (Cmd.info "train"
+           ~doc:
+             "Run a built-in app's test cases and learn its query-signature \
+              profile (structural signatures, per-slot constraints, \
+              result-cardinality bands).")
+        Term.(ret (const qsig_train_cmd_run $ app_arg $ output_arg));
+      Cmd.v
+        (Cmd.info "show" ~doc:"Print a trained query-signature profile.")
+        Term.(ret (const qsig_show_cmd_run $ qsig_profile_pos_arg $ vet_format_arg));
+      Cmd.v
+        (Cmd.info "check"
+           ~doc:
+             "Check one executed query against a trained profile; exits non-zero \
+              when the query is anomalous.")
+        Term.(
+          ret
+            (const qsig_check_cmd_run $ qsig_profile_pos_arg $ qsig_sql_arg
+           $ qsig_rows_arg $ qsig_policy_arg));
+    ]
+
 (* --- list-apps --------------------------------------------------------- *)
 
 let list_cmd =
@@ -966,6 +1214,7 @@ let () =
             record_cmd;
             replay_cmd;
             serve_cmd;
+            qsig_cmd;
             automaton_cmd;
             explain_cmd;
             list_cmd;

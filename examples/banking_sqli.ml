@@ -44,4 +44,38 @@ let () =
       Printf.printf "\nOverall: %s\n"
         (Adprom.Detector.flag_to_string
            (Adprom.Detector.worst (List.map snd verdicts)))
-  | [] -> print_endline "no malicious traces produced")
+  | [] -> print_endline "no malicious traces produced");
+
+  (* The second detection axis: the same attack seen by the trained
+     query-signature engine (what `adprom qsig train banking` followed
+     by `adprom qsig check` does from the shell). *)
+  Printf.printf "\nQuery axis (signature + constraint + band engine):\n";
+  let qengine = Adprom.Pipeline.train_qsig_engine app in
+  let seq_hit = ref false and query_hit = ref false in
+  List.iter
+    (fun (_, trace) ->
+      let worst =
+        Adprom.Detector.worst (List.map snd (Adprom.Detector.monitor profile trace))
+      in
+      if worst = Adprom.Detector.Data_leak || worst = Adprom.Detector.Out_of_context
+      then seq_hit := true)
+    malicious_traces;
+  List.iter
+    (fun (tc, qlog) ->
+      List.iter
+        (fun (sql, rows) ->
+          let v = Adprom_qsig.Engine.check ~rows qengine sql in
+          if v.Adprom_qsig.Engine.anomalous then begin
+            query_hit := true;
+            Printf.printf "  %s: %s\n    %s\n" tc.Runtime.Testcase.name
+              (Adprom_qsig.Engine.verdict_to_string v)
+              sql
+          end)
+        qlog)
+    (Attack.Qmutate.run_logs case.Dataset.Ca_attacks.scenario app);
+  Printf.printf "\nFused two-axis verdict: %s\n"
+    (match (!seq_hit, !query_hit) with
+    | true, true -> "both axes fired"
+    | true, false -> "sequence axis only"
+    | false, true -> "query axis only"
+    | false, false -> "no alarm")

@@ -110,4 +110,44 @@ let () =
     (String.concat "; " outcome.Runtime.Interp.tainted_files);
   List.iter
     (fun f -> Printf.printf "    - %s\n" (Adprom.Audit.finding_to_string f))
-    (Adprom.Audit.audit ~qsig outcome)
+    (Adprom.Audit.audit ~qsig outcome);
+
+  (* 3. The full query-mutation family (tautology widening, cardinality
+     blowup, out-of-band literals) against this app: the call sequence
+     stays intact in every variant, so only the query axis can see it. *)
+  print_newline ();
+  let qengine = Adprom.Qsig.engine qsig in
+  let caught_of scenario =
+    List.exists
+      (fun (_, qlog) ->
+        List.exists
+          (fun (sql, rows) ->
+            (Adprom_qsig.Engine.check ~rows qengine sql).Adprom_qsig.Engine.anomalous)
+          qlog)
+      (Attack.Qmutate.run_logs scenario app)
+  in
+  List.iter
+    (fun kind ->
+      let scenario = Attack.Qmutate.scenario kind in
+      Printf.printf "query-mutation %-22s query axis: %s\n"
+        (Attack.Qmutate.kind_to_string kind)
+        (if caught_of scenario then "CAUGHT" else "missed"))
+    Attack.Qmutate.all_kinds;
+
+  (* 4. Attack 5 (the paper's banking tautology injection) through the
+     query axis alone — the CI gate greps this line. *)
+  let case = Dataset.Ca_attacks.attack5 () in
+  let banking = case.Dataset.Ca_attacks.app in
+  let bank_engine = Adprom.Pipeline.train_qsig_engine banking in
+  let attack5_caught =
+    List.exists
+      (fun (_, qlog) ->
+        List.exists
+          (fun (sql, rows) ->
+            (Adprom_qsig.Engine.check ~rows bank_engine sql)
+              .Adprom_qsig.Engine.anomalous)
+          qlog)
+      (Attack.Qmutate.run_logs case.Dataset.Ca_attacks.scenario banking)
+  in
+  Printf.printf "\nAttack 5 via query axis: %s\n"
+    (if attack5_caught then "CAUGHT" else "MISSED")

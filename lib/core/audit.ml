@@ -1,9 +1,18 @@
 type finding =
   | Unknown_query_signature of string
+  | Query_anomaly of { sql : string; detail : string }
   | Tainted_file_command of { path : string; command : string }
 
 let learn outcomes =
-  Qsig.of_runs (List.map (fun (o : Runtime.Interp.outcome) -> o.Runtime.Interp.queries) outcomes)
+  (* Prepare-time texts register their shape only; executed queries
+     (parameters bound in, cardinality known) train the constraints. *)
+  let profile = Adprom_qsig.Profile.create () in
+  List.iter
+    (fun (o : Runtime.Interp.outcome) ->
+      List.iter (Adprom_qsig.Profile.learn_shape profile) o.Runtime.Interp.queries;
+      Adprom_qsig.Profile.learn_log profile o.Runtime.Interp.query_log)
+    outcomes;
+  Qsig.of_profile profile
 
 let contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in
@@ -14,14 +23,47 @@ let contains ~needle haystack =
 
 let finding_to_string = function
   | Unknown_query_signature s -> Printf.sprintf "unknown query signature: %s" s
+  | Query_anomaly { sql; detail } -> Printf.sprintf "anomalous query %S: %s" sql detail
   | Tainted_file_command { path; command } ->
       Printf.sprintf "command %S touches labeled file %s" command path
 
-let audit ~qsig (outcome : Runtime.Interp.outcome) =
+(* Engine reasons already reported as unknown signatures (or counted as
+   malformed) by the set-membership pass are dropped here; what remains
+   is the constraint-aware layer: widening, slot and cardinality. *)
+let constraint_reasons verdict =
+  List.filter
+    (function
+      | Adprom_qsig.Engine.Unknown_signature _ | Adprom_qsig.Engine.Malformed _ ->
+          false
+      | Adprom_qsig.Engine.Tautology | Adprom_qsig.Engine.Constant_comparison
+      | Adprom_qsig.Engine.Slot_violation _
+      | Adprom_qsig.Engine.Cardinality_blowup _ ->
+          true)
+    verdict.Adprom_qsig.Engine.reasons
+
+let audit ?policy ~qsig (outcome : Runtime.Interp.outcome) =
   let query_findings =
     List.map
       (fun s -> Unknown_query_signature s)
       (Qsig.unknown_in_run qsig outcome.Runtime.Interp.queries)
+  in
+  let engine = Qsig.engine ?policy qsig in
+  let constraint_findings =
+    List.concat_map
+      (fun (sql, rows) ->
+        match constraint_reasons (Adprom_qsig.Engine.check ~rows engine sql) with
+        | [] -> []
+        | reasons ->
+            [
+              Query_anomaly
+                {
+                  sql;
+                  detail =
+                    String.concat "; "
+                      (List.map Adprom_qsig.Engine.reason_to_string reasons);
+                };
+            ])
+      outcome.Runtime.Interp.query_log
   in
   let file_findings =
     List.concat_map
@@ -34,7 +76,7 @@ let audit ~qsig (outcome : Runtime.Interp.outcome) =
           outcome.Runtime.Interp.tainted_files)
       outcome.Runtime.Interp.system_calls
   in
-  let findings = query_findings @ file_findings in
+  let findings = query_findings @ constraint_findings @ file_findings in
   List.iter
     (fun f ->
       Adprom_obs.Log.emit Adprom_obs.Log.Warn ~scope:"audit"
@@ -44,6 +86,7 @@ let audit ~qsig (outcome : Runtime.Interp.outcome) =
               Adprom_obs.Log.Str
                 (match f with
                 | Unknown_query_signature _ -> "unknown_query_signature"
+                | Query_anomaly _ -> "query_anomaly"
                 | Tainted_file_command _ -> "tainted_file_command") );
           ]
         (finding_to_string f))

@@ -1,25 +1,38 @@
 (** Complementary run-level auditing (the mitigations of Sec. VII).
 
-    The HMM detector sees call {e sequences}; two leakage channels it
+    The HMM detector sees call {e sequences}; leakage channels it
     cannot see are covered here:
 
     - queries whose structure changed while the call sequence did not
-      (mitigated by query-signature profiles, {!Qsig});
+      (query-signature profiles, {!Qsig});
+    - queries that keep a trained structure but drift in their literals,
+      widen their WHERE clause toward a tautology, or return far more
+      rows than training ever saw (the constraint-aware query axis,
+      {!Adprom_qsig});
     - targeted data staged into a file and then exfiltrated by a shell
-      command (mitigated by file labeling: the interpreter marks files
-      that received tainted data, and any [system] command mentioning a
-      labeled file is reported). *)
+      command (file labeling: the interpreter marks files that received
+      tainted data, and any [system] command mentioning a labeled file
+      is reported). *)
 
 type finding =
   | Unknown_query_signature of string
       (** a query signature never seen in training *)
+  | Query_anomaly of { sql : string; detail : string }
+      (** a known-shape query violating its trained constraints:
+          out-of-band literal, widened predicate, cardinality blowup *)
   | Tainted_file_command of { path : string; command : string }
       (** a [system] command touching a file that holds targeted data *)
 
 val learn : Runtime.Interp.outcome list -> Qsig.t
-(** Query-signature profile from the training runs' outcomes. *)
+(** Query-signature profile from the training runs' outcomes:
+    prepare-time texts register their shape, executed queries train the
+    slot constraints and cardinality bands. *)
 
-val audit : qsig:Qsig.t -> Runtime.Interp.outcome -> finding list
-(** Findings for one monitored run. *)
+val audit :
+  ?policy:Adprom_qsig.Constraints.policy ->
+  qsig:Qsig.t ->
+  Runtime.Interp.outcome ->
+  finding list
+(** Findings for one monitored run (default policy [Strict]). *)
 
 val finding_to_string : finding -> string

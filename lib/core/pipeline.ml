@@ -70,3 +70,11 @@ let train ?(params = adprom_params) dataset =
 
 let train_engine ?params ?cache_capacity dataset =
   Scoring.create ?cache_capacity (train ?params dataset)
+
+let collect_outcomes ?analysis app =
+  let analysis = match analysis with Some a -> a | None -> analyze_app app in
+  List.map (fun tc -> snd (run_case ~analysis app tc)) app.test_cases
+
+let train_qsig ?analysis app = Audit.learn (collect_outcomes ?analysis app)
+
+let train_qsig_engine ?policy ?analysis app = Qsig.engine ?policy (train_qsig ?analysis app)

@@ -53,3 +53,19 @@ val train_engine :
     ready-to-serve scoring engine (interned symbol tables, preallocated
     forward-pass buffers, verdict memo). What the bench experiments and
     the CLI use so classification never pays per-window setup. *)
+
+val collect_outcomes :
+  ?analysis:Analysis.Analyzer.t -> app -> Runtime.Interp.outcome list
+(** Run every test case for its outcome only (no trace windowing) —
+    the training input of the query-signature axis. *)
+
+val train_qsig : ?analysis:Analysis.Analyzer.t -> app -> Qsig.t
+(** Query-signature profile over all training outcomes ({!Audit.learn}
+    on {!collect_outcomes}). *)
+
+val train_qsig_engine :
+  ?policy:Adprom_qsig.Constraints.policy ->
+  ?analysis:Analysis.Analyzer.t ->
+  app ->
+  Adprom_qsig.Engine.t
+(** {!train_qsig} compiled for repeated checking. *)

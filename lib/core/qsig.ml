@@ -1,34 +1,55 @@
-module SS = Set.Make (String)
+module P = Adprom_qsig.Profile
 
-type t = SS.t
+type t = P.t
 
-let empty = SS.empty
+let malformed_name = "<malformed>"
 
-let signature_of sql =
-  match Sqldb.Sql_pp.signature_of_sql sql with
-  | Some s -> s
-  | None -> "<malformed>"
+let empty = P.create ()
 
-let learn t sql = SS.add (signature_of sql) t
+let learn t sql =
+  let t = P.copy t in
+  P.learn t sql;
+  t
 
-let learn_run t queries = List.fold_left learn t queries
+let learn_run t queries =
+  let t = P.copy t in
+  P.learn_run t queries;
+  t
 
-let of_runs runs = List.fold_left learn_run empty runs
+let of_runs runs = P.of_runs runs
 
-let known t sql = SS.mem (signature_of sql) t
+let of_logs logs = P.of_logs logs
+
+let profile t = t
+
+let of_profile p = p
+
+let engine ?policy t = Adprom_qsig.Engine.create ?policy t
+
+let known t sql =
+  match Adprom_qsig.Signature.of_sql sql with
+  | Ok s -> P.mem t s
+  | Error _ -> P.malformed_count t > 0
 
 let unknown_in_run t queries =
   let seen = Hashtbl.create 8 in
   List.filter_map
     (fun sql ->
-      let s = signature_of sql in
-      if SS.mem s t || Hashtbl.mem seen s then None
+      let name =
+        match Adprom_qsig.Signature.of_sql sql with
+        | Ok s -> Adprom_qsig.Signature.to_string s
+        | Error _ -> malformed_name
+      in
+      if known t sql || Hashtbl.mem seen name then None
       else begin
-        Hashtbl.replace seen s ();
-        Some s
+        Hashtbl.replace seen name ();
+        Some name
       end)
     queries
 
-let signatures t = SS.elements t
+let signatures t =
+  let names = P.signatures t in
+  let names = if P.malformed_count t > 0 then malformed_name :: names else names in
+  List.sort String.compare names
 
-let cardinality t = SS.cardinal t
+let cardinality t = P.cardinality t + if P.malformed_count t > 0 then 1 else 0

@@ -2,23 +2,39 @@
     leave the call sequence intact: "recording queries signatures along
     with library calls can mitigate this case".
 
-    A signature is the literal-erased canonical form of a statement
-    ({!Sqldb.Sql_pp.signature}); the profile is the set of signatures
-    observed during training. Unparseable texts get the distinguished
-    signature ["<malformed>"] — if training never produced one, a
-    malformed query (e.g. a clumsy injection) is itself anomalous. *)
+    Since the [lib/qsig] subsystem landed this module is a thin
+    compatibility wrapper over {!Adprom_qsig.Profile}: the historical
+    set-of-signatures API below is preserved (including the
+    distinguished ["<malformed>"] bucket for unparseable texts), while
+    {!profile} / {!engine} expose the underlying constraint-aware
+    profile so callers like {!Audit} inherit slot-constraint,
+    predicate-widening and cardinality-band checks. *)
 
 type t
 
 val empty : t
 
 val learn : t -> string -> t
-(** Add the signature of one raw SQL text. *)
+(** Add the signature of one raw SQL text (persistent: the argument is
+    unchanged). *)
 
 val learn_run : t -> string list -> t
 
 val of_runs : string list list -> t
 (** Profile from the query logs of all training runs. *)
+
+val of_logs : (string * int) list list -> t
+(** Profile from executed-query logs [(sql, rows)] — also learns
+    per-signature cardinality bands. *)
+
+val profile : t -> Adprom_qsig.Profile.t
+(** The underlying constraint-aware profile (shared, not copied). *)
+
+val of_profile : Adprom_qsig.Profile.t -> t
+(** Wrap an existing profile (shared, not copied). *)
+
+val engine : ?policy:Adprom_qsig.Constraints.policy -> t -> Adprom_qsig.Engine.t
+(** Compile the profile for repeated checking (default [Strict]). *)
 
 val known : t -> string -> bool
 (** Is this raw SQL's signature in the profile? *)

@@ -133,6 +133,18 @@ let record_query (st : Istate.t) sql =
   st.Istate.queries <- sql :: st.Istate.queries;
   sql
 
+let rows_of_result = function
+  | Client.Result r -> Array.length r.Sqldb.Engine.rows
+  | Client.Command_ok n -> n
+  | Client.Error _ -> 0
+
+(* The query log pairs executed SQL (parameters bound in) with its
+   result cardinality — the view a server-side audit log would have,
+   which is what the query-signature axis scores. *)
+let log_query (st : Istate.t) sql result =
+  st.Istate.query_log <- (sql, rows_of_result result) :: st.Istate.query_log;
+  result
+
 (* File-level data-flow tracking (the Sec. VII mitigation): when an
    output call stores targeted data into a file, remember the path so
    later actions on that file can be audited. *)
@@ -153,14 +165,17 @@ let dispatch (st : Istate.t) name (args : Rvalue.t list) : Rvalue.t =
   (* PostgreSQL style *)
   | "pq_exec", [ conn; sql ] ->
       let wire = st.Istate.query_rewriter (as_str name sql) in
-      mk_base (Rvalue.VResult (Client.exec (as_conn name conn) (record_query st wire)))
+      let r = log_query st wire (Client.exec (as_conn name conn) (record_query st wire)) in
+      mk_base (Rvalue.VResult r)
   | "pq_prepare", [ conn; sql ] -> (
       match Client.prepare (as_conn name conn) (record_query st (as_str name sql)) with
       | Ok p -> mk_base (Rvalue.VPrepared p)
       | Error _ -> Rvalue.null)
   | "pq_exec_prepared", conn :: prep :: params ->
       let conn = as_conn name conn and prep = as_prepared name prep in
-      mk_base (Rvalue.VResult (Client.exec_prepared conn prep (List.map value_of_rvalue params)))
+      let values = List.map value_of_rvalue params in
+      let r = log_query st (Client.bound_text prep values) (Client.exec_prepared conn prep values) in
+      mk_base (Rvalue.VResult r)
   | "pq_ntuples", [ res ] -> Rvalue.int (Client.ntuples (as_result name res))
   | "pq_nfields", [ res ] -> Rvalue.int (Client.nfields (as_result name res))
   | "pq_getvalue", [ res; row; col ] ->
@@ -174,7 +189,7 @@ let dispatch (st : Istate.t) name (args : Rvalue.t list) : Rvalue.t =
   | "mysql_query", [ conn; sql ] ->
       let c = as_conn name conn in
       let wire = st.Istate.query_rewriter (as_str name sql) in
-      let r = Client.exec c (record_query st wire) in
+      let r = log_query st wire (Client.exec c (record_query st wire)) in
       Client.set_last_result c (Some r);
       Rvalue.int (match r with Client.Error _ -> 1 | Client.Result _ | Client.Command_ok _ -> 0)
   | "mysql_store_result", [ conn ] -> (
@@ -207,7 +222,8 @@ let dispatch (st : Istate.t) name (args : Rvalue.t list) : Rvalue.t =
       | Error _ -> Rvalue.null)
   | "mysql_stmt_execute", conn :: prep :: params -> (
       let conn = as_conn name conn and prep = as_prepared name prep in
-      let r = Client.exec_prepared conn prep (List.map value_of_rvalue params) in
+      let values = List.map value_of_rvalue params in
+      let r = log_query st (Client.bound_text prep values) (Client.exec_prepared conn prep values) in
       match Client.cursor_of_result r with
       | Some cur -> mk_base (Rvalue.VCursor cur)
       | None -> Rvalue.null)

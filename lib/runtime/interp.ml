@@ -8,6 +8,7 @@ type outcome = {
   files : (string * string) list;
   system_calls : string list;
   queries : string list;
+  query_log : (string * int) list;
   tainted_files : string list;
   responses : string;
   steps : int;
@@ -241,6 +242,7 @@ let run ?(collector = Collector.null) ?(patches = []) ?(max_steps = 1_000_000)
     files = Istate.written st;
     system_calls = List.rev st.Istate.system_calls;
     queries = List.rev st.Istate.queries;
+    query_log = List.rev st.Istate.query_log;
     tainted_files = List.rev st.Istate.tainted_paths;
     responses = Buffer.contents st.Istate.responses;
     steps = st.Istate.steps;

@@ -12,6 +12,10 @@ type outcome = {
   files : (string * string) list;  (** path, final written contents *)
   system_calls : string list;  (** in issue order *)
   queries : string list;  (** raw SQL texts submitted, in issue order *)
+  query_log : (string * int) list;
+      (** executed queries (parameters bound into the text) paired with
+          their result cardinality, in execution order — the view a
+          server-side audit log has; input to the query-signature axis *)
   tainted_files : string list;
       (** paths that received targeted data (Sec. VII file labeling) *)
   responses : string;  (** HTTP response stream of a web-app run *)

@@ -10,6 +10,7 @@ type t = {
   stdout : Buffer.t;
   mutable system_calls : string list;
   mutable queries : string list;
+  mutable query_log : (string * int) list;
   mutable tainted_paths : string list;
   mutable pending_requests : Testcase.request list;
   mutable current_request : Testcase.request option;
@@ -32,6 +33,7 @@ let create ?(query_rewriter = fun sql -> sql) ~engine ~max_steps (tc : Testcase.
     stdout = Buffer.create 256;
     system_calls = [];
     queries = [];
+    query_log = [];
     tainted_paths = [];
     pending_requests = tc.Testcase.requests;
     current_request = None;

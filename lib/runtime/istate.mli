@@ -16,6 +16,10 @@ type t = {
   stdout : Buffer.t;
   mutable system_calls : string list;  (** commands passed to [system], reversed *)
   mutable queries : string list;  (** raw SQL texts submitted to the DB, reversed *)
+  mutable query_log : (string * int) list;
+      (** executed queries with parameters bound into the text, paired
+          with their result cardinality (row count or affected rows;
+          0 on error), reversed. Feeds the query-signature axis. *)
   mutable tainted_paths : string list;
       (** files that received targeted data through an output call *)
   mutable pending_requests : Testcase.request list;

@@ -8,6 +8,35 @@ type source =
       explanation : Adprom.Scoring.explanation option;
     }
   | Finding of Audit.finding
+  | Query_verdict of {
+      query_index : int;
+      sql : string;
+      verdict : Adprom_qsig.Engine.verdict;
+    }
+
+type axis = Sequence_axis | Query_axis
+
+let axis_to_string = function
+  | Sequence_axis -> "sequence"
+  | Query_axis -> "query"
+
+(* Tainted_file_command rides the sequence side: it comes from the same
+   library-call instrumentation stream the HMM consumes, not from the
+   SQL wire. *)
+let axis_of_source = function
+  | Verdict _ -> Sequence_axis
+  | Query_verdict _ -> Query_axis
+  | Finding (Audit.Unknown_query_signature _ | Audit.Query_anomaly _) ->
+      Query_axis
+  | Finding _ -> Sequence_axis
+
+type fused = No_alarm | Sequence_only | Query_only | Both_axes
+
+let fused_to_string = function
+  | No_alarm -> "none"
+  | Sequence_only -> "sequence"
+  | Query_only -> "query"
+  | Both_axes -> "both"
 
 type incident = { seq : int; time : float; session : int; source : source }
 
@@ -38,6 +67,13 @@ let record_verdict ?explanation t ~session ~window_index verdict =
 
 let record_finding t ~session finding = record t ~session (Finding finding)
 
+let record_query_verdict t ~session ~query_index ~sql
+    (verdict : Adprom_qsig.Engine.verdict) =
+  if verdict.Adprom_qsig.Engine.anomalous then (
+    record t ~session (Query_verdict { query_index; sql; verdict });
+    true)
+  else false
+
 let incidents t =
   Mutex.lock t.mutex;
   let l = t.incidents_rev in
@@ -50,9 +86,24 @@ let count t =
   Mutex.unlock t.mutex;
   n
 
+let fused_axes t ~session =
+  let seq_hit = ref false and query_hit = ref false in
+  List.iter
+    (fun (i : incident) ->
+      if i.session = session then
+        match axis_of_source i.source with
+        | Sequence_axis -> seq_hit := true
+        | Query_axis -> query_hit := true)
+    (incidents t);
+  match (!seq_hit, !query_hit) with
+  | false, false -> No_alarm
+  | true, false -> Sequence_only
+  | false, true -> Query_only
+  | true, true -> Both_axes
+
 let source_to_string = function
   | Verdict { window_index; verdict; explanation } ->
-      Printf.sprintf "%s window=%d score=%s%s%s"
+      Printf.sprintf "[sequence] %s window=%d score=%s%s%s"
         (Detector.flag_to_string verdict.Detector.flag)
         window_index
         (if Float.is_finite verdict.Detector.score then
@@ -67,7 +118,14 @@ let source_to_string = function
         | Some e ->
             Printf.sprintf " [%s]" (Adprom.Scoring.explanation_to_string e)
         | None -> "")
-  | Finding f -> Audit.finding_to_string f
+  | Finding f ->
+      Printf.sprintf "[%s] %s"
+        (axis_to_string (axis_of_source (Finding f)))
+        (Audit.finding_to_string f)
+  | Query_verdict { query_index; sql; verdict } ->
+      Printf.sprintf "[query] anomaly #%d %s: %s" query_index
+        (Adprom_qsig.Engine.verdict_to_string verdict)
+        sql
 
 let incident_to_string (i : incident) =
   Printf.sprintf "#%-4d t=%.6f session=%d %s" i.seq i.time i.session

@@ -16,6 +16,24 @@ type source =
               recorded verdict, rendered by {!incident_to_string} *)
     }
   | Finding of Adprom.Audit.finding
+  | Query_verdict of {
+      query_index : int;  (** 0-based index in the session's query stream *)
+      sql : string;
+      verdict : Adprom_qsig.Engine.verdict;
+    }  (** the query-signature axis fired on one executed query *)
+
+type axis = Sequence_axis | Query_axis
+(** Which detection axis an incident belongs to: the call-sequence HMM
+    (plus the findings derived from the same instrumentation stream) or
+    the query-signature engine. *)
+
+val axis_of_source : source -> axis
+val axis_to_string : axis -> string
+
+type fused = No_alarm | Sequence_only | Query_only | Both_axes
+(** Two-axis fusion of a session's incidents: which axes fired. *)
+
+val fused_to_string : fused -> string
 
 type incident = { seq : int; time : float; session : int; source : source }
 
@@ -36,6 +54,19 @@ val record_verdict :
     the detector's business, not the administrator's queue). *)
 
 val record_finding : t -> session:int -> Adprom.Audit.finding -> unit
+
+val record_query_verdict :
+  t ->
+  session:int ->
+  query_index:int ->
+  sql:string ->
+  Adprom_qsig.Engine.verdict ->
+  bool
+(** Record a query-axis verdict if it is anomalous; returns whether an
+    incident was logged. *)
+
+val fused_axes : t -> session:int -> fused
+(** Which detection axes have fired for [session] so far. *)
 
 val incidents : t -> incident list
 (** All incidents, timestamp-ordered (ascending [seq]). *)

@@ -5,10 +5,38 @@ type event = Adprom.Sessions.tagged = {
   event : Runtime.Collector.event;
 }
 
+type query = { q_session : int; rows : int; sql : string }
+
+type item = Call of event | Query of query
+
 let encode_event { session; event = e } =
   Printf.sprintf "%d\t%s\t%d\t%s" session e.Runtime.Collector.caller
     e.Runtime.Collector.block
     (Trace_io.encode_symbol e.Runtime.Collector.symbol)
+
+let encode_query { q_session; rows; sql } =
+  Printf.sprintf "q\t%d\t%d\t%s" q_session rows sql
+
+let encode_item = function
+  | Call ev -> encode_event ev
+  | Query q -> encode_query q
+
+let is_query_line line =
+  String.length line >= 2 && line.[0] = 'q' && line.[1] = '\t'
+
+let parse_query_line line =
+  (* q <TAB> session <TAB> rows <TAB> sql; the sql may itself contain
+     tabs, so only the first three cuts split. *)
+  match String.split_on_char '\t' line with
+  | "q" :: sid :: rows :: sql_rest when sql_rest <> [] -> (
+      let sql = String.concat "\t" sql_rest in
+      match (int_of_string_opt sid, int_of_string_opt rows) with
+      | Some q_session, _ when q_session < 0 ->
+          Error (Printf.sprintf "negative session id %d" q_session)
+      | Some q_session, Some rows -> Ok { q_session; rows; sql }
+      | None, _ -> Error (Printf.sprintf "bad session id %S" sid)
+      | _, None -> Error (Printf.sprintf "bad row count %S" rows))
+  | _ -> Error "expected q<TAB>session<TAB>rows<TAB>sql"
 
 let encode stream =
   let buf = Buffer.create (Array.length stream * 40) in
@@ -46,12 +74,44 @@ let decode text =
         match String.trim line with
         | "" -> go acc (lineno + 1) rest
         | t when t.[0] = '#' -> go acc (lineno + 1) rest
+        | _ when is_query_line line ->
+            (* query lines ride alongside call events; plain decode
+               yields the call stream only (see decode_mixed) *)
+            go acc (lineno + 1) rest
         | _ -> (
             match parse_line line with
             | Ok ev -> go (ev :: acc) (lineno + 1) rest
             | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
   in
   go [] 1 (String.split_on_char '\n' text)
+
+let decode_mixed text =
+  let rec go acc lineno = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest -> (
+        let line = chomp line in
+        match String.trim line with
+        | "" -> go acc (lineno + 1) rest
+        | t when t.[0] = '#' -> go acc (lineno + 1) rest
+        | _ when is_query_line line -> (
+            match parse_query_line line with
+            | Ok q -> go (Query q :: acc) (lineno + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+        | _ -> (
+            match parse_line line with
+            | Ok ev -> go (Call ev :: acc) (lineno + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
+  in
+  go [] 1 (String.split_on_char '\n' text)
+
+let encode_items items =
+  let buf = Buffer.create (Array.length items * 40) in
+  Array.iter
+    (fun it ->
+      Buffer.add_string buf (encode_item it);
+      Buffer.add_char buf '\n')
+    items;
+  Buffer.contents buf
 
 let save stream path =
   let oc = open_out_bin path in

@@ -13,15 +13,42 @@ type event = Adprom.Sessions.tagged = {
   event : Runtime.Collector.event;
 }
 
+type query = { q_session : int; rows : int; sql : string }
+(** An executed-query record for the query-signature axis:
+    [q<TAB>session<TAB>rows<TAB>sql] on the wire. [rows] is the result
+    cardinality the DBMS reported; [sql] is the executed text with
+    parameters bound (it may itself contain tabs — only the first three
+    fields split). *)
+
+type item = Call of event | Query of query
+(** One wire line of a mixed stream: call events interleaved with
+    executed queries. *)
+
 val encode_event : event -> string
 (** One line, without the trailing newline. *)
+
+val encode_query : query -> string
+
+val encode_item : item -> string
 
 val parse_line : string -> (event, string) result
 (** Parse one wire line (no line-number context; {!decode} adds it). *)
 
+val parse_query_line : string -> (query, string) result
+
+val is_query_line : string -> bool
+(** True when the line carries a {!query} ([q<TAB>...] prefix). *)
+
 val encode : event array -> string
 
+val encode_items : item array -> string
+
 val decode : string -> (event array, string) result
+(** Call events only. Query lines are skipped, so pre-query consumers
+    keep decoding mixed streams unchanged; use {!decode_mixed} to see
+    both. *)
+
+val decode_mixed : string -> (item array, string) result
 
 val save : event array -> string -> unit
 

@@ -18,8 +18,30 @@ let gate_mode_of_string = function
   | "enforce" -> Some Gate_enforce
   | _ -> None
 
+type qsig_mode = Qsig_off | Qsig_warn | Qsig_enforce
+
+let qsig_mode_to_string = function
+  | Qsig_off -> "off"
+  | Qsig_warn -> "warn"
+  | Qsig_enforce -> "enforce"
+
+let qsig_mode_of_string = function
+  | "off" -> Some Qsig_off
+  | "warn" -> Some Qsig_warn
+  | "enforce" -> Some Qsig_enforce
+  | _ -> None
+
+(* Warn checks under the Flexible policy, Enforce under Strict. Strict
+   constraints are tighter, so Enforce's anomaly set is a superset of
+   Warn's on the same stream (the fused-verdict monotonicity the tests
+   pin down). *)
+let qsig_policy_of_mode = function
+  | Qsig_off | Qsig_warn -> Adprom_qsig.Constraints.Flexible
+  | Qsig_enforce -> Adprom_qsig.Constraints.Strict
+
 type message =
   | Event of Codec.event
+  | Query of Codec.query
   | Shed of int  (* discard this session's scorer; ignore later events *)
 
 type shard = {
@@ -36,6 +58,8 @@ type session_report = {
   windows : int;
   worst : Detector.flag;
   verdicts : Detector.verdict list;
+  qsig_checks : int;
+  qsig_anomalies : int;
 }
 
 type shard_result = {
@@ -58,6 +82,7 @@ type t = {
   profile : Profile.t;
   capacity : int;
   keep_verdicts : bool;
+  qsig_active : bool;
   shards : shard array;
   workers : shard_result Domain.t array;
   metrics : Metrics.t;
@@ -93,7 +118,7 @@ let flag_counter_names =
 let shard_of t session = Hashtbl.hash session mod Array.length t.shards
 
 let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
-    ~metrics ~alerts ~ring shard =
+    ~qsig ~metrics ~alerts ~ring shard =
   (* one compiled engine per worker domain: every session of this shard
      shares its interned tables and verdict memo *)
   let engine = Scoring.create profile in
@@ -103,6 +128,18 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
       Scoring.set_static_dfa engine (Some auto);
       Scoring.set_gate_enforce engine gate_enforce
   | None -> ());
+  (* the query axis mirrors the sequence axis: one compiled qsig engine
+     per worker (interned signature codes, shared memo), one streaming
+     scorer per session *)
+  let qsig_engine =
+    match qsig with
+    | None -> None
+    | Some (qprofile, policy) ->
+        Some (Adprom_qsig.Engine.create ~policy qprofile)
+  in
+  let qsig_scorers : (int, Adprom_qsig.Engine.Scorer.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let scorers : (int, Scorer.t) Hashtbl.t = Hashtbl.create 64 in
   let shed_here : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let discarded = ref [] in
@@ -115,6 +152,10 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
   let c_gate_checks = Metrics.counter metrics "adprom_dfa_gate_checks_total" in
   let c_gate_rejections =
     Metrics.counter metrics "adprom_dfa_gate_rejections_total"
+  in
+  let c_qsig_checks = Metrics.counter metrics "adprom_qsig_checks_total" in
+  let c_qsig_anomalies =
+    Metrics.counter metrics "adprom_qsig_anomalies_total"
   in
   let seen_hits = ref 0 and seen_misses = ref 0 in
   let seen_gate_checks = ref 0 and seen_gate_rejections = ref 0 in
@@ -187,12 +228,48 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
               Metrics.incr c_scorer_errors);
           Metrics.observe h_latency (Unix.gettimeofday () -. t0)
         end
+    | Query { Codec.q_session = session; rows; sql } -> (
+        match qsig_engine with
+        | None -> ()
+        | Some qe ->
+            if not (Hashtbl.mem shed_here session) then begin
+              let qs =
+                match Hashtbl.find_opt qsig_scorers session with
+                | Some s -> s
+                | None ->
+                    let s = Adprom_qsig.Engine.Scorer.create qe in
+                    Hashtbl.replace qsig_scorers session s;
+                    s
+              in
+              let verdict = Adprom_qsig.Engine.Scorer.push qs ~rows sql in
+              Metrics.incr c_qsig_checks;
+              if verdict.Adprom_qsig.Engine.anomalous then begin
+                Metrics.incr c_qsig_anomalies;
+                ignore
+                  (Alerts.record_query_verdict alerts ~session
+                     ~query_index:
+                       (Adprom_qsig.Engine.Scorer.queries_seen qs - 1)
+                     ~sql verdict);
+                if Olog.enabled Olog.Warn then
+                  Olog.emit ~ring Olog.Warn ~scope:"daemon"
+                    ~fields:
+                      [
+                        ("shard", Olog.Int idx);
+                        ("session", Olog.Int session);
+                        ( "reasons",
+                          Olog.Str
+                            (Adprom_qsig.Engine.verdict_to_string verdict) );
+                      ]
+                    "query_incident"
+              end
+            end)
     | Shed session ->
         (match Hashtbl.find_opt scorers session with
         | Some scorer ->
             discarded := (session, Scorer.events_seen scorer) :: !discarded;
             Hashtbl.remove scorers session
         | None -> ());
+        Hashtbl.remove qsig_scorers session;
         Hashtbl.replace shed_here session ()
   in
   let rec loop () =
@@ -222,21 +299,50 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
         (fun () -> Queue.iter handle batch);
     sync_cache_counters ();
     if finished then begin
+      let qsig_stats session =
+        match Hashtbl.find_opt qsig_scorers session with
+        | Some qs ->
+            ( Adprom_qsig.Engine.Scorer.queries_seen qs,
+              Adprom_qsig.Engine.Scorer.anomalies qs )
+        | None -> (0, 0)
+      in
       let reports =
         Hashtbl.fold
           (fun session scorer acc ->
             (match Scorer.flush scorer with
             | Some verdict -> account session scorer verdict
             | None -> ());
+            let qsig_checks, qsig_anomalies = qsig_stats session in
             {
               session;
               events = Scorer.events_seen scorer;
               windows = Scorer.windows_scored scorer;
               worst = Scorer.worst scorer;
               verdicts = Scorer.verdicts scorer;
+              qsig_checks;
+              qsig_anomalies;
             }
             :: acc)
           scorers []
+      in
+      (* sessions whose only traffic was queries still get a report so
+         a query-axis alarm is never orphaned from the summary *)
+      let reports =
+        Hashtbl.fold
+          (fun session qs acc ->
+            if Hashtbl.mem scorers session then acc
+            else
+              {
+                session;
+                events = 0;
+                windows = 0;
+                worst = Detector.Normal;
+                verdicts = [];
+                qsig_checks = Adprom_qsig.Engine.Scorer.queries_seen qs;
+                qsig_anomalies = Adprom_qsig.Engine.Scorer.anomalies qs;
+              }
+              :: acc)
+          qsig_scorers reports
       in
       sync_cache_counters ();
       { reports; discarded = !discarded }
@@ -250,7 +356,7 @@ let default_ring_capacity = 256
 let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     ?(ring_capacity = default_ring_capacity) ?metrics ?alerts ?vet_against
     ?(vet_policy = Adprom.Profile_check.Warn) ?(static_gate = Gate_explain)
-    profile =
+    ?(qsig_mode = Qsig_off) ?qsig_profile profile =
   if shards < 1 then invalid_arg "Daemon.create: need at least one shard";
   if queue_capacity < 0 then invalid_arg "Daemon.create: negative queue capacity";
   if ring_capacity < 0 then invalid_arg "Daemon.create: negative ring capacity";
@@ -307,6 +413,17 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
   ignore (Metrics.counter metrics "adprom_scorer_errors_total");
   ignore (Metrics.counter metrics "adprom_dfa_gate_checks_total");
   ignore (Metrics.counter metrics "adprom_dfa_gate_rejections_total");
+  ignore (Metrics.counter metrics "adprom_qsig_checks_total");
+  ignore (Metrics.counter metrics "adprom_qsig_anomalies_total");
+  (* The query axis needs both a mode and a trained profile; workers
+     snapshot the profile before any domain spawns so later mutation by
+     the caller cannot race the checkers. *)
+  let qsig =
+    match (qsig_mode, qsig_profile) with
+    | Qsig_off, _ | _, None -> None
+    | (Qsig_warn | Qsig_enforce), Some qprofile ->
+        Some (Adprom_qsig.Profile.copy qprofile, qsig_policy_of_mode qsig_mode)
+  in
   let shard_array =
     Array.init shards (fun i ->
         {
@@ -326,14 +443,15 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
       (fun idx shard ->
         Domain.spawn (fun () ->
             worker ~idx ~profile ~static_pairs ~static_auto
-              ~gate_enforce:(static_gate = Gate_enforce) ~keep_verdicts ~metrics
-              ~alerts ~ring:rings.(idx) shard))
+              ~gate_enforce:(static_gate = Gate_enforce) ~keep_verdicts ~qsig
+              ~metrics ~alerts ~ring:rings.(idx) shard))
       shard_array
   in
   {
     profile;
     capacity = queue_capacity;
     keep_verdicts;
+    qsig_active = qsig <> None;
     shards = shard_array;
     workers;
     metrics;
@@ -394,6 +512,30 @@ let ingest t ev =
       Accepted
     end
   end
+
+let ingest_query t (q : Codec.query) =
+  if t.draining then invalid_arg "Daemon.ingest_query: daemon already drained";
+  if q.Codec.q_session < 0 then
+    invalid_arg "Daemon.ingest_query: negative session id";
+  if not t.qsig_active then Accepted
+  else if Hashtbl.mem t.shed_at_door q.Codec.q_session then
+    (* the session is already gone; its queries follow its events out *)
+    Rejected { newly_shed = false }
+  else begin
+    (* Queries are low-volume side traffic (one per DB call, not one
+       per library call) and never fabricate call transitions, so they
+       are exempt from the shedding bound, like the control message. *)
+    let shard = t.shards.(shard_of t q.Codec.q_session) in
+    Mutex.lock shard.mutex;
+    Queue.add (Query q) shard.queue;
+    Condition.signal shard.nonempty;
+    Mutex.unlock shard.mutex;
+    Accepted
+  end
+
+let ingest_item t = function
+  | Codec.Call ev -> ingest t ev
+  | Codec.Query q -> ingest_query t q
 
 let drain t =
   if t.draining then invalid_arg "Daemon.drain: daemon already drained";

@@ -23,6 +23,10 @@ type session_report = {
   worst : Adprom.Detector.flag;
   verdicts : Adprom.Detector.verdict list;
       (** arrival order; empty under [keep_verdicts:false] *)
+  qsig_checks : int;  (** executed queries checked by the query axis *)
+  qsig_anomalies : int;
+      (** query-axis anomalies — independent of [worst]/[verdicts],
+          which remain sequence-axis only *)
 }
 
 type summary = {
@@ -51,6 +55,20 @@ val gate_mode_to_string : gate_mode -> string
 val gate_mode_of_string : string -> gate_mode option
 (** ["off"], ["explain"], ["enforce"]. *)
 
+type qsig_mode =
+  | Qsig_off  (** ignore query lines: pre-qsig behaviour exactly *)
+  | Qsig_warn
+      (** check executed queries under the {!Adprom_qsig.Constraints.Flexible}
+          policy; anomalies become incidents and metrics only *)
+  | Qsig_enforce
+      (** check under [Strict] — tighter constraints, so the anomaly
+          set is a superset of [Qsig_warn]'s on the same stream *)
+
+val qsig_mode_to_string : qsig_mode -> string
+
+val qsig_mode_of_string : string -> qsig_mode option
+(** ["off"], ["warn"], ["enforce"]. *)
+
 type t
 
 val create :
@@ -63,6 +81,8 @@ val create :
   ?vet_against:Analysis.Analyzer.t ->
   ?vet_policy:Adprom.Profile_check.policy ->
   ?static_gate:gate_mode ->
+  ?qsig_mode:qsig_mode ->
+  ?qsig_profile:Adprom_qsig.Profile.t ->
   Adprom.Profile.t ->
   t
 (** Spawn the worker domains. Defaults: 4 shards, queue capacity 4096,
@@ -90,6 +110,15 @@ val create :
     rate). Without [vet_against] there is no program to build the
     automaton from and [static_gate] is inert.
 
+    With [qsig_mode] (default [Qsig_off]) and [qsig_profile], every
+    worker compiles the query-signature profile into an
+    {!Adprom_qsig.Engine} (the profile is snapshotted before domains
+    spawn) and checks the session's executed queries as a second,
+    independent detection axis. Query-axis anomalies land in the
+    {!Alerts} sink as [Query_verdict] incidents and count toward
+    [adprom_qsig_checks_total] / [adprom_qsig_anomalies_total];
+    sequence-axis verdicts are bit-for-bit unaffected by the mode.
+
     @raise Invalid_argument on [shards < 1], a negative capacity, or a
     profile failing vet under [Enforce]. *)
 
@@ -98,6 +127,17 @@ val ingest : t -> Codec.event -> admission
     is the explicit backpressure signal; [newly_shed] marks the
     admission that tripped the overload policy.
     @raise Invalid_argument after {!drain} or on a negative session id. *)
+
+val ingest_query : t -> Codec.query -> admission
+(** Route one executed-query record to its session's shard. A no-op
+    [Accepted] when the query axis is off; [Rejected] only when the
+    session was already shed (queries are exempt from the shedding
+    bound — they are low-volume side traffic and cannot fabricate call
+    transitions).
+    @raise Invalid_argument after {!drain} or on a negative session id. *)
+
+val ingest_item : t -> Codec.item -> admission
+(** {!ingest} or {!ingest_query} by the wire line's kind. *)
 
 val drain : t -> summary
 (** Close all queues, let the workers finish scoring, flush every

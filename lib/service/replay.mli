@@ -24,6 +24,8 @@ val run :
   ?vet_against:Analysis.Analyzer.t ->
   ?vet_policy:Adprom.Profile_check.policy ->
   ?static_gate:Daemon.gate_mode ->
+  ?qsig_mode:Daemon.qsig_mode ->
+  ?qsig_profile:Adprom_qsig.Profile.t ->
   Adprom.Profile.t ->
   Codec.event array ->
   outcome
@@ -31,16 +33,39 @@ val run :
     {!Daemon.create}: the profile is vetted against the program's static
     analysis (and, under [Gate_explain]/[Gate_enforce], its
     call-sequence automaton is loaded into the workers) before replay
-    starts. *)
+    starts. [qsig_mode]/[qsig_profile] likewise arm the query axis —
+    inert on a pure event stream; use {!run_items} or {!of_text} for
+    mixed streams. *)
+
+val run_items :
+  ?shards:int ->
+  ?queue_capacity:int ->
+  ?keep_verdicts:bool ->
+  ?metrics:Metrics.t ->
+  ?alerts:Alerts.t ->
+  ?vet_against:Analysis.Analyzer.t ->
+  ?vet_policy:Adprom.Profile_check.policy ->
+  ?static_gate:Daemon.gate_mode ->
+  ?qsig_mode:Daemon.qsig_mode ->
+  ?qsig_profile:Adprom_qsig.Profile.t ->
+  Adprom.Profile.t ->
+  Codec.item array ->
+  outcome
+(** {!run} over a mixed call-event/executed-query stream. *)
 
 val of_text :
   ?shards:int ->
   ?queue_capacity:int ->
   ?keep_verdicts:bool ->
+  ?qsig_mode:Daemon.qsig_mode ->
+  ?qsig_profile:Adprom_qsig.Profile.t ->
   Adprom.Profile.t ->
   string ->
   (outcome, string) result
-(** Decode the wire text first; [Error "line N: ..."] on a bad line. *)
+(** Decode the wire text first; [Error "line N: ..."] on a bad line.
+    With [qsig_mode] off (the default) query lines are skipped at
+    decode, so outcomes are bit-for-bit the pre-qsig ones; otherwise
+    the mixed stream is replayed through the armed daemon. *)
 
 val throughput : outcome -> float
 (** Ingested events per second. *)

@@ -15,6 +15,11 @@ type cursor = { result : Engine.result; mutable next : int }
 
 type prepared = { statement : Sql_ast.statement; nparams : int }
 
+let prepared_statement p = p.statement
+
+let bound_text prepared params =
+  Sql_pp.to_string (Sql_ast.bind_params (Array.of_list params) prepared.statement)
+
 let connect engine dialect = { engine; dialect; last = None }
 let dialect conn = conn.dialect
 let engine conn = conn.engine

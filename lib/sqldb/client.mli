@@ -38,6 +38,13 @@ val exec : conn -> string -> exec_result
 val prepare : conn -> string -> (prepared, string) Stdlib.result
 val exec_prepared : conn -> prepared -> Value.t list -> exec_result
 
+val prepared_statement : prepared -> Sql_ast.statement
+
+val bound_text : prepared -> Value.t list -> string
+(** Canonical SQL text of the prepared statement with the given
+    parameters substituted for their placeholders — what a server-side
+    query log would show for this execution. *)
+
 val ntuples : exec_result -> int
 (** [PQntuples]: row count; 0 for non-result outcomes. *)
 

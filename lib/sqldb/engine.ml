@@ -60,7 +60,8 @@ let rec eval_where (tbl : table) params row expr =
   let operand = function
     | Sql_ast.Col name -> row.(column_index tbl name)
     | Sql_ast.Lit l -> resolve_literal params l
-    | Sql_ast.Cmp _ | Sql_ast.And _ | Sql_ast.Or _ | Sql_ast.Not _ | Sql_ast.Like _ ->
+    | Sql_ast.Cmp _ | Sql_ast.And _ | Sql_ast.Or _ | Sql_ast.Not _ | Sql_ast.Like _
+    | Sql_ast.In _ ->
         raise (Sql_error "nested boolean expression used as operand")
   in
   match expr with
@@ -82,6 +83,11 @@ let rec eval_where (tbl : table) params row expr =
       match (operand a, operand b) with
       | Value.Null, _ | _, Value.Null -> false
       | va, vb -> like_match ~pattern:(Value.to_string vb) (Value.to_string va))
+  | Sql_ast.In (a, lits) ->
+      let v = operand a in
+      List.exists
+        (fun lit -> Value.compare_values v (resolve_literal params lit) = Some 0)
+        lits
   | Sql_ast.Col _ | Sql_ast.Lit _ -> raise (Sql_error "non-boolean WHERE clause")
 
 let matching_rows tbl params where =

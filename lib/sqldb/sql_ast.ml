@@ -14,6 +14,7 @@ type expr =
   | Or of expr * expr
   | Not of expr
   | Like of expr * expr
+  | In of expr * literal list
 
 type aggregate = Sum | Avg | Min_agg | Max_agg
 
@@ -45,6 +46,7 @@ let rec expr_params = function
   | Lit l -> literal_params l
   | Cmp (_, a, b) | And (a, b) | Or (a, b) | Like (a, b) -> expr_params a @ expr_params b
   | Not a -> expr_params a
+  | In (a, lits) -> expr_params a @ List.concat_map literal_params lits
 
 let where_params = function None -> [] | Some e -> expr_params e
 
@@ -59,3 +61,36 @@ let param_count stmt =
     | Delete { where; _ } -> where_params where
   in
   List.fold_left (fun acc i -> max acc (i + 1)) 0 indices
+
+let map_literals f stmt =
+  let lit l = f l in
+  let rec expr = function
+    | Col _ as e -> e
+    | Lit l -> Lit (lit l)
+    | Cmp (op, a, b) -> Cmp (op, expr a, expr b)
+    | And (a, b) -> And (expr a, expr b)
+    | Or (a, b) -> Or (expr a, expr b)
+    | Not a -> Not (expr a)
+    | Like (a, b) -> Like (expr a, expr b)
+    | In (a, lits) -> In (expr a, List.map lit lits)
+  in
+  let where = Option.map expr in
+  match stmt with
+  | Create _ as s -> s
+  | Insert { table; columns; values } ->
+      Insert { table; columns; values = List.map (List.map lit) values }
+  | Select s -> Select { s with where = where s.where }
+  | Update { table; sets; where = w } ->
+      Update { table; sets = List.map (fun (c, l) -> (c, lit l)) sets; where = where w }
+  | Delete { table; where = w } -> Delete { table; where = where w }
+
+let bind_params params stmt =
+  map_literals
+    (function
+      | L_param i when i >= 0 && i < Array.length params -> (
+          match params.(i) with
+          | Value.Int n -> L_int n
+          | Value.Str s -> L_str s
+          | Value.Null -> L_null)
+      | l -> l)
+    stmt

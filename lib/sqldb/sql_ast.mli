@@ -22,6 +22,7 @@ type expr =
   | Or of expr * expr
   | Not of expr
   | Like of expr * expr  (** [lhs LIKE pattern]; pattern uses [%] and [_] *)
+  | In of expr * literal list  (** [lhs IN (l1, l2, ...)]; NULL members never match *)
 
 type aggregate = Sum | Avg | Min_agg | Max_agg
 
@@ -50,3 +51,12 @@ type statement =
 
 val param_count : statement -> int
 (** Number of distinct [?] placeholders (max index + 1). *)
+
+val map_literals : (literal -> literal) -> statement -> statement
+(** Rewrite every literal position in the statement (INSERT values,
+    UPDATE sets, WHERE operands and IN-list members) in source order. *)
+
+val bind_params : Value.t array -> statement -> statement
+(** Substitute [L_param i] with the literal form of [params.(i)].
+    Placeholders beyond the array are left untouched, so the result of a
+    partial binding still reports the missing ones via [param_count]. *)

@@ -17,7 +17,7 @@ exception Error of string
 let keywords =
   [
     "SELECT"; "FROM"; "WHERE"; "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET";
-    "DELETE"; "CREATE"; "TABLE"; "AND"; "OR"; "NOT"; "NULL"; "LIKE"; "COUNT";
+    "DELETE"; "CREATE"; "TABLE"; "AND"; "OR"; "NOT"; "NULL"; "LIKE"; "IN"; "COUNT";
     "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "SUM"; "AVG"; "MIN"; "MAX";
   ]
 

@@ -88,12 +88,34 @@ and parse_predicate st =
     | T_kw "LIKE" ->
         advance st;
         Sql_ast.Like (lhs, parse_operand st)
+    | T_kw "IN" ->
+        advance st;
+        Sql_ast.In (lhs, parse_in_list st)
+    | T_kw "NOT" ->
+        advance st;
+        expect_kw st "IN";
+        Sql_ast.Not (Sql_ast.In (lhs, parse_in_list st))
     | tok -> (
         match cmp_of_token tok with
         | Some cmp ->
             advance st;
             Sql_ast.Cmp (cmp, lhs, parse_operand st)
         | None -> fail "expected a comparison operator")
+
+and parse_in_list st =
+  expect st T_lparen "expected '(' after IN";
+  let rec loop acc =
+    let l = parse_literal st in
+    if peek st = T_comma then begin
+      advance st;
+      loop (l :: acc)
+    end
+    else begin
+      expect st T_rparen "expected ')' after IN list";
+      List.rev (l :: acc)
+    end
+  in
+  loop []
 
 let parse_opt_where st =
   if peek st = T_kw "WHERE" then begin

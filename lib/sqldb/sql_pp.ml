@@ -16,6 +16,10 @@ let literal ~erase = function
   | L_null -> "NULL"
   | L_param _ -> "?"
 
+(* Arity class used by [signature]: collapses IN-list and VALUES-tuple
+   counts so profiles are invariant under list length within a class. *)
+let arity_class n = if n <= 1 then "1" else if n <= 8 then "few" else "many"
+
 let cmp_to_string = function
   | Ceq -> "="
   | Cne -> "<>"
@@ -37,6 +41,12 @@ let rec expr_to_string ~erase ctx e =
         (expr_to_string ~erase 4 b)
   | Like (a, b) ->
       Printf.sprintf "%s LIKE %s" (expr_to_string ~erase 4 a) (expr_to_string ~erase 4 b)
+  | In (a, lits) ->
+      let members =
+        if erase then Printf.sprintf "?{%s}" (arity_class (List.length lits))
+        else String.concat ", " (List.map (literal ~erase) lits)
+      in
+      Printf.sprintf "%s IN (%s)" (expr_to_string ~erase 4 a) members
   | Not a -> wrap 3 ("NOT " ^ expr_to_string ~erase 3 a)
   | And (a, b) ->
       wrap 2 (Printf.sprintf "%s AND %s" (expr_to_string ~erase 2 a) (expr_to_string ~erase 2 b))
@@ -61,8 +71,13 @@ let render ~erase stmt =
       let tuple lits =
         Printf.sprintf "(%s)" (String.concat ", " (List.map (literal ~erase) lits))
       in
-      Printf.sprintf "INSERT INTO %s%s VALUES %s" table cols
-        (String.concat ", " (List.map tuple values))
+      let tuples =
+        match values with
+        | first :: _ :: _ when erase ->
+            Printf.sprintf "%s {x%s}" (tuple first) (arity_class (List.length values))
+        | _ -> String.concat ", " (List.map tuple values)
+      in
+      Printf.sprintf "INSERT INTO %s%s VALUES %s" table cols tuples
   | Select { projection; table; where = w; order_by; limit } ->
       let proj =
         match projection with
@@ -80,7 +95,11 @@ let render ~erase stmt =
         | Some (c, Asc) -> Printf.sprintf " ORDER BY %s ASC" c
         | Some (c, Desc) -> Printf.sprintf " ORDER BY %s DESC" c
       in
-      let lim = match limit with None -> "" | Some n -> Printf.sprintf " LIMIT %d" n in
+      let lim =
+        match limit with
+        | None -> ""
+        | Some n -> if erase then " LIMIT ?" else Printf.sprintf " LIMIT %d" n
+      in
       Printf.sprintf "SELECT %s FROM %s%s%s%s" proj table (where w) order lim
   | Update { table; sets; where = w } ->
       let set (c, l) = Printf.sprintf "%s = %s" c (literal ~erase l) in

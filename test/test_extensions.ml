@@ -104,7 +104,7 @@ let test_audit_findings () =
     List.exists
       (function
         | Audit.Tainted_file_command { path; _ } -> path = "/tmp/stash.txt"
-        | Audit.Unknown_query_signature _ -> false)
+        | _ -> false)
       findings
   in
   Alcotest.(check bool) "unknown signature reported" true has_query;

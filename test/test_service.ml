@@ -516,7 +516,7 @@ let test_daemon_explains_incidents () =
   let verdict_incidents =
     List.filter
       (fun (i : Alerts.incident) ->
-        match i.Alerts.source with Alerts.Verdict _ -> true | Alerts.Finding _ -> false)
+        match i.Alerts.source with Alerts.Verdict _ -> true | _ -> false)
       (Alerts.incidents outcome.Replay.alerts)
   in
   Alcotest.(check bool) "verdict incidents present" true (verdict_incidents <> []);
@@ -532,7 +532,7 @@ let test_daemon_explains_incidents () =
             (e.Adprom.Scoring.gate = Adprom.Scoring.Unknown_symbol);
           Alcotest.(check bool) "incident names the gate" true
             (contains ~needle:"gate=unknown-symbol" (Alerts.incident_to_string i))
-      | Alerts.Finding _ -> ())
+      | _ -> ())
     verdict_incidents;
   (* the incidents also landed on the shard event rings and surface in
      the outcome's tail *)
