@@ -22,6 +22,7 @@ let experiments =
     ("crossval", Exp_crossval.run);
     ("interleaved-sessions", Exp_operations.sessions);
     ("service-throughput", Exp_service.run);
+    ("cluster", Exp_cluster.run);
     ("vet", Exp_vet.run);
     ("seqauto", Exp_seqauto.run);
     ("qsig", Exp_qsig.run);

@@ -586,7 +586,32 @@ let print_outcome ?labels ?(log_tail = 0) (outcome : Service.Replay.outcome) =
     (Service.Replay.throughput outcome)
     outcome.Service.Replay.seconds
 
-let record_cmd_run app_name output sessions seed =
+let wire_conv =
+  let parse s =
+    match Service.Transport.wire_of_string s with
+    | Some w -> Ok w
+    | None -> Error (`Msg (Printf.sprintf "unknown wire format %S (text|binary)" s))
+  in
+  Arg.conv
+    (parse, fun ppf w -> Format.pp_print_string ppf (Service.Transport.wire_to_string w))
+
+let wire_arg =
+  Arg.(
+    value
+    & opt wire_conv Service.Transport.Line
+    & info [ "wire" ] ~docv:"FMT"
+        ~doc:
+          "Record file format: $(b,text) (the greppable line format) or $(b,binary) \
+           (length-prefixed frames — what the cluster speaks, and several times \
+           faster to encode and decode). `replay` and `route` autodetect either.")
+
+(* Either record format: sniff the magic bytes, decode accordingly. *)
+let decode_any data =
+  Service.Transport.decode_all
+    (Service.Frame.transport_of_wire (Service.Frame.detect data))
+    data
+
+let record_cmd_run app_name output sessions seed wire =
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
   | Some app ->
@@ -621,10 +646,12 @@ let record_cmd_run app_name output sessions seed =
             (Array.of_list queries)
         in
         let oc = open_out_bin output in
-        output_string oc (Service.Codec.encode_items items);
+        output_string oc
+          (Service.Transport.encode_all (Service.Frame.transport_of_wire wire) items);
         close_out oc;
-        Printf.printf "%d sessions, %d events, %d queries -> %s\n" sessions
-          (Array.length stream) (List.length queries) output;
+        Printf.printf "%d sessions, %d events, %d queries -> %s (%s)\n" sessions
+          (Array.length stream) (List.length queries) output
+          (Service.Transport.wire_to_string wire);
         `Ok ()
       end
 
@@ -639,7 +666,10 @@ let record_cmd =
        ~doc:
          "Run a built-in app as N concurrent sessions and write the interleaved host \
           stream in the daemon wire format.")
-    Term.(ret (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg))
+    Term.(
+      ret
+        (const record_cmd_run $ app_arg $ output_arg $ sessions_arg $ seed_arg
+       $ wire_arg))
 
 let replay_cmd_run profile_path events_path shards capacity verify vet_program
     vet_policy static_gate qsig_mode qsig_profile_path log_level log_tail
@@ -648,7 +678,7 @@ let replay_cmd_run profile_path events_path shards capacity verify vet_program
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
   | Ok profile -> (
-      match Service.Codec.decode_mixed (read_file events_path) with
+      match decode_any (read_file events_path) with
       | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
       | Ok items -> (
           let stream =
@@ -751,10 +781,36 @@ let replay_cmd =
        $ log_tail_arg $ trace_out_arg))
 
 let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
-    log_level log_tail trace_out =
+    listen node_name log_level log_tail trace_out =
   obs_setup log_level trace_out;
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
+  | Some app when listen <> None -> (
+      (* cluster node: train locally, then monitor whatever a router (or
+         nc with a text record file) streams at the port *)
+      let port = Option.get listen in
+      Printf.printf "Training %s ...\n%!" app.Adprom.Pipeline.name;
+      let dataset = Adprom.Pipeline.collect app in
+      let profile = Adprom.Pipeline.train dataset in
+      let analysis = dataset.Adprom.Pipeline.analysis in
+      let qsig = Adprom.Pipeline.train_qsig app in
+      match Service.Server.bind port with
+      | exception Unix.Unix_error (e, _, _) ->
+          `Error (false, Printf.sprintf "cannot listen on port %d: %s" port
+                    (Unix.error_message e))
+      | socket, port -> (
+          Printf.printf "node %s listening on 127.0.0.1:%d ...\n%!" node_name port;
+          match
+            Service.Server.serve ~socket ~name:node_name ~shards
+              ~queue_capacity:capacity ~vet_against:analysis ~vet_policy
+              ~static_gate ~qsig_mode ~qsig_profile:(Adprom.Qsig.profile qsig)
+              profile
+          with
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | outcome ->
+              print_outcome ~log_tail outcome;
+              obs_finish trace_out;
+              `Ok ()))
   | Some app ->
       Printf.printf "Training %s ...\n%!" app.Adprom.Pipeline.name;
       let dataset = Adprom.Pipeline.collect app in
@@ -846,18 +902,132 @@ let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
           obs_finish trace_out;
           `Ok ()
 
+let listen_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Cluster-node mode: train, then serve a TCP port (0 picks an ephemeral \
+           one) instead of generating a local stream. Binary frame and text line \
+           connections are autodetected; the node drains and prints its outcome \
+           when a router sends Bye.")
+
+let node_name_arg =
+  Arg.(
+    value & opt string "node"
+    & info [ "node-name" ] ~docv:"NAME"
+        ~doc:"What the node calls itself in Hello and Summary frames.")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "End-to-end daemon demo: train on a built-in app, interleave its normal \
           sessions with its attack scenarios into one host stream, monitor the stream \
-          online and print the unified incident log.")
+          online and print the unified incident log. With $(b,--listen), serve a TCP \
+          port as one node of a cluster instead (see `adprom route`).")
     Term.(
       ret
         (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
-       $ vet_policy_arg $ static_gate_arg $ qsig_mode_arg $ log_level_arg
-       $ log_tail_arg $ trace_out_arg))
+       $ vet_policy_arg $ static_gate_arg $ qsig_mode_arg $ listen_arg
+       $ node_name_arg $ log_level_arg $ log_tail_arg $ trace_out_arg))
+
+(* --- route: spray a recorded stream across serve nodes ----------------- *)
+
+let route_cmd_run events_path node_specs replicas =
+  let data = read_file events_path in
+  match decode_any data with
+  | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
+  | Ok items -> (
+      let peers, bad =
+        List.partition_map
+          (fun s ->
+            match Service.Cluster.peer_of_string s with
+            | Ok p -> Left p
+            | Error e -> Right e)
+          node_specs
+      in
+      match bad with
+      | e :: _ -> `Error (false, e)
+      | [] -> (
+          match Service.Cluster.Router.connect ~replicas peers with
+          | Error e -> `Error (false, Printf.sprintf "cannot connect: %s" e)
+          | Ok router -> (
+              let t0 = Unix.gettimeofday () in
+              match Service.Cluster.Router.send_stream router items with
+              | Error e -> `Error (false, Printf.sprintf "send failed: %s" e)
+              | Ok () -> (
+                  (* aggregate metrics while the connections are still up *)
+                  let dump = Service.Cluster.Router.metrics router in
+                  match Service.Cluster.Router.finish router with
+                  | Error e -> `Error (false, Printf.sprintf "shutdown failed: %s" e)
+                  | Ok summaries ->
+                      let seconds = Unix.gettimeofday () -. t0 in
+                      List.iter
+                        (fun (s : Service.Frame.node_summary) ->
+                          Printf.printf "node %-12s %d sessions, %d events ingested\n"
+                            s.Service.Frame.node
+                            (List.length s.Service.Frame.summary.Service.Daemon.sessions)
+                            s.Service.Frame.summary.Service.Daemon.events_ingested)
+                        summaries;
+                      let merged = Service.Cluster.merge summaries in
+                      print_newline ();
+                      print_summary merged.Service.Frame.summary;
+                      Printf.printf "\n--- incident log (%d incidents, cluster-wide) ---\n"
+                        (List.length merged.Service.Frame.incidents);
+                      if merged.Service.Frame.incidents = [] then print_endline "(empty)"
+                      else
+                        List.iter
+                          (fun (session, text) ->
+                            Printf.printf "session %d: %s\n" session text)
+                          merged.Service.Frame.incidents;
+                      (match dump with
+                      | Ok d -> Printf.printf "\n--- metrics (aggregated) ---\n%s" d
+                      | Error e ->
+                          Printf.printf "\n(metrics aggregation failed: %s)\n" e);
+                      let lost = Service.Cluster.Router.lost_items router in
+                      if lost > 0 then
+                        Printf.printf
+                          "\nWARNING: %d item(s) lost across reconnects — verdicts \
+                           are not comparable to a single-node replay\n"
+                          lost;
+                      Printf.printf "\nthroughput: %.0f events/sec (%.3fs, %d nodes)\n"
+                        (float_of_int
+                           merged.Service.Frame.summary.Service.Daemon.events_ingested
+                        /. seconds)
+                        seconds (List.length summaries);
+                      `Ok ()))))
+
+let route_events_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"EVENTS"
+        ~doc:"Recorded stream, text or binary (see `adprom record --wire`).")
+
+let route_nodes_arg =
+  Arg.(
+    non_empty
+    & opt_all string []
+    & info [ "node" ] ~docv:"[NAME=]HOST:PORT"
+        ~doc:"A serve node to route to (repeatable; see `adprom serve --listen`).")
+
+let route_replicas_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:"Virtual points per node on the consistent-hash ring.")
+
+let route_cmd =
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Spray a recorded stream across serve nodes by consistent session \
+          hashing, then print the merged cluster summary, incident log and \
+          aggregated metrics. Session-sticky routing keeps cluster verdicts \
+          bit-for-bit equal to a single-node replay of the same stream.")
+    Term.(ret (const route_cmd_run $ route_events_arg $ route_nodes_arg $ route_replicas_arg))
 
 (* --- automaton --------------------------------------------------------- *)
 
@@ -990,9 +1160,15 @@ let explain_cmd_run profile_path events_path session window_idx top =
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
   | Ok profile -> (
-      match Service.Codec.load events_path with
+      match decode_any (read_file events_path) with
       | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
-      | Ok stream -> (
+      | Ok items -> (
+          let stream =
+            Array.of_list
+              (List.filter_map
+                 (function Service.Codec.Call ev -> Some ev | _ -> None)
+                 (Array.to_list items))
+          in
           match List.assoc_opt session (Adprom.Sessions.demux stream) with
           | None -> `Error (false, Printf.sprintf "no session %d in %s" session events_path)
           | Some trace ->
@@ -1214,6 +1390,7 @@ let () =
             record_cmd;
             replay_cmd;
             serve_cmd;
+            route_cmd;
             qsig_cmd;
             automaton_cmd;
             explain_cmd;

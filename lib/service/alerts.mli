@@ -73,5 +73,10 @@ val incidents : t -> incident list
 
 val count : t -> int
 
+val source_to_string : source -> string
+(** The incident's payload rendered without its [seq]/[time] header —
+    the stable part a cluster node ships in its summary frame (sequence
+    numbers and timestamps are per-node and never comparable). *)
+
 val incident_to_string : incident -> string
 val to_string : t -> string

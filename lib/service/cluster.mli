@@ -1,0 +1,106 @@
+(** Session routing across serve nodes, and the pieces `adprom route`
+    is built from.
+
+    Sessions are sticky: every event of a session must reach the same
+    node, or the per-session event order the detector depends on is
+    destroyed. The {!Ring} gives that stickiness a stable shape — a
+    consistent-hash ring over node names (~64 virtual replicas each), so
+    adding or removing a node only remaps the sessions that hashed to
+    it. The {!Router} holds one binary connection per node, sprays a
+    mixed item stream along the ring, aggregates [Metrics_resp] dumps
+    into one registry view, and collects each node's [Summary] at
+    shutdown; {!merge} folds those per-node summaries into one
+    cluster-wide view with the exact shape of a single node's.
+
+    Because sessions are disjoint across nodes and each node's daemon is
+    deterministic per session, the merged verdicts are bit-for-bit the
+    single-node replay's — the property [test/test_cluster.ml] pins. *)
+
+module Ring : sig
+  type t
+
+  val create : ?replicas:int -> string list -> t
+  (** [replicas] virtual points per node (default 64).
+      @raise Invalid_argument on an empty node list. *)
+
+  val nodes : t -> string list
+  (** In creation order. *)
+
+  val node : t -> int -> string
+  (** The node owning a session id: first ring point clockwise of the
+      session's hash. Deterministic across processes (the hash is
+      FNV-1a, not [Hashtbl.hash]). *)
+end
+
+type peer = { peer_name : string; host : string; port : int }
+
+val peer_of_string : string -> (peer, string) result
+(** Parse ["host:port"] or ["name=host:port"] (the name defaults to
+    ["host:port"] itself — ring placement only needs it to be stable). *)
+
+module Router : sig
+  type t
+
+  val connect :
+    ?replicas:int -> ?attempts:int -> ?peer:string -> peer list -> (t, string) result
+  (** Dial every node (with exponential backoff over [attempts] tries,
+      default 10) and exchange [Hello] frames; [peer] (default
+      ["router"]) is the name announced. [Error] if any node stays
+      unreachable or answers with an incompatible protocol version. *)
+
+  val send : t -> Transport.item -> (unit, string) result
+  (** Route one item to its session's node. Items are buffered per node
+      and flushed at 32 KiB; a broken connection is redialed with
+      backoff (a fresh connection means a fresh interned-string table,
+      so the encoder is replaced too) and the items lost with the dead
+      connection are counted in {!lost_items}. *)
+
+  val send_stream : t -> Transport.item array -> (unit, string) result
+
+  val flush_all : t -> (unit, string) result
+  (** Push every staged and buffered item to its node now (the send
+      path otherwise batches at 32 KiB per connection). Load generators
+      pair it with {!metrics} — which round-trips after every prior
+      frame on each connection — to bound the ingest window they time,
+      leaving the drain-and-score work of {!finish} outside the clock. *)
+
+  val lost_items : t -> int
+  (** Items acknowledged as lost across reconnects — nonzero means the
+      cluster verdicts are not comparable to a single-node replay. *)
+
+  val metrics : t -> (string, string) result
+  (** Fan a [Metrics_req] out to every node and merge the dumps: values
+      are summed per metric name, except [*_max] high-watermark lines
+      which take the max. The merged text keeps the dump's sorted,
+      diffable shape. *)
+
+  val finish : t -> (Frame.node_summary list, string) result
+  (** Flush everything, send [Bye] to every node, await each node's
+      [Summary] frame and close. The router is unusable afterwards.
+      Summaries come back in the node order given to {!connect}. *)
+end
+
+val merge : Frame.node_summary list -> Frame.node_summary
+(** One cluster-wide summary: session reports and shed lists
+    concatenated (disjoint by the ring) and re-sorted ascending,
+    counters summed, incident and fused-axes lists merged. The [node]
+    field joins the member names with [+].
+    @raise Invalid_argument on an empty list. *)
+
+(** {1 Local nodes for tests and benchmarks}
+
+    Forked single-machine nodes: the parent binds port 0 (so it knows
+    the port with no rendezvous file), forks, and the child — which
+    inherited the trained profile by memory — runs {!Server.serve} on
+    the inherited socket and exits. Fork before creating any daemon in
+    the parent: a multi-domain process must not fork. *)
+
+type local = { name : string; pid : int; port : int }
+
+val spawn_local : name:string -> (Unix.file_descr -> unit) -> local
+(** [spawn_local ~name serve] forks; the child calls [serve socket]
+    (typically a {!Server.serve} closure) and [_exit]s, the parent
+    closes its copy of the socket and returns the child's address. *)
+
+val wait_local : local -> unit
+(** Reap the node's process (blocking [waitpid]). *)

@@ -1,117 +1,41 @@
-module Trace_io = Runtime.Trace_io
+(* Thin deprecated aliases over Transport.Text — the line format's real
+   implementation. Kept so pre-redesign callers and recorded streams
+   are unchanged. *)
 
-type event = Adprom.Sessions.tagged = {
+type event = Transport.event = {
   session : int;
   event : Runtime.Collector.event;
 }
 
-type query = { q_session : int; rows : int; sql : string }
+type query = Transport.query = { q_session : int; rows : int; sql : string }
 
-type item = Call of event | Query of query
+type item = Transport.item = Call of event | Query of query
 
-let encode_event { session; event = e } =
-  Printf.sprintf "%d\t%s\t%d\t%s" session e.Runtime.Collector.caller
-    e.Runtime.Collector.block
-    (Trace_io.encode_symbol e.Runtime.Collector.symbol)
-
-let encode_query { q_session; rows; sql } =
-  Printf.sprintf "q\t%d\t%d\t%s" q_session rows sql
-
-let encode_item = function
-  | Call ev -> encode_event ev
-  | Query q -> encode_query q
-
-let is_query_line line =
-  String.length line >= 2 && line.[0] = 'q' && line.[1] = '\t'
-
-let parse_query_line line =
-  (* q <TAB> session <TAB> rows <TAB> sql; the sql may itself contain
-     tabs, so only the first three cuts split. *)
-  match String.split_on_char '\t' line with
-  | "q" :: sid :: rows :: sql_rest when sql_rest <> [] -> (
-      let sql = String.concat "\t" sql_rest in
-      match (int_of_string_opt sid, int_of_string_opt rows) with
-      | Some q_session, _ when q_session < 0 ->
-          Error (Printf.sprintf "negative session id %d" q_session)
-      | Some q_session, Some rows -> Ok { q_session; rows; sql }
-      | None, _ -> Error (Printf.sprintf "bad session id %S" sid)
-      | _, None -> Error (Printf.sprintf "bad row count %S" rows))
-  | _ -> Error "expected q<TAB>session<TAB>rows<TAB>sql"
+let encode_event ev = Transport.Text.encode_line (Call ev)
+let encode_query q = Transport.Text.encode_line (Query q)
+let encode_item = Transport.Text.encode_line
+let parse_line = Transport.Text.parse_event_line
+let parse_query_line = Transport.Text.parse_query_line
+let is_query_line = Transport.Text.is_query_line
 
 let encode stream =
-  let buf = Buffer.create (Array.length stream * 40) in
-  Array.iter
-    (fun ev ->
-      Buffer.add_string buf (encode_event ev);
-      Buffer.add_char buf '\n')
-    stream;
-  Buffer.contents buf
+  Transport.encode_all
+    (module Transport.Text)
+    (Array.map (fun ev -> Call ev) stream)
 
-let parse_line line =
-  match String.index_opt line '\t' with
-  | None -> Error "expected 4 tab-separated fields (session, caller, block, symbol)"
-  | Some cut -> (
-      let sid = String.sub line 0 cut in
-      let rest = String.sub line (cut + 1) (String.length line - cut - 1) in
-      match int_of_string_opt sid with
-      | None -> Error (Printf.sprintf "bad session id %S" sid)
-      | Some session when session < 0 ->
-          Error (Printf.sprintf "negative session id %d" session)
-      | Some session -> (
-          match Trace_io.parse_event rest with
-          | Ok event -> Ok { session; event }
-          | Error e -> Error e))
+let encode_items = Transport.encode_all (module Transport.Text)
 
-let chomp line =
-  let n = String.length line in
-  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+let decode_mixed = Transport.decode_all (module Transport.Text)
 
 let decode text =
-  let rec go acc lineno = function
-    | [] -> Ok (Array.of_list (List.rev acc))
-    | line :: rest -> (
-        let line = chomp line in
-        match String.trim line with
-        | "" -> go acc (lineno + 1) rest
-        | t when t.[0] = '#' -> go acc (lineno + 1) rest
-        | _ when is_query_line line ->
-            (* query lines ride alongside call events; plain decode
-               yields the call stream only (see decode_mixed) *)
-            go acc (lineno + 1) rest
-        | _ -> (
-            match parse_line line with
-            | Ok ev -> go (ev :: acc) (lineno + 1) rest
-            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
-  in
-  go [] 1 (String.split_on_char '\n' text)
-
-let decode_mixed text =
-  let rec go acc lineno = function
-    | [] -> Ok (Array.of_list (List.rev acc))
-    | line :: rest -> (
-        let line = chomp line in
-        match String.trim line with
-        | "" -> go acc (lineno + 1) rest
-        | t when t.[0] = '#' -> go acc (lineno + 1) rest
-        | _ when is_query_line line -> (
-            match parse_query_line line with
-            | Ok q -> go (Query q :: acc) (lineno + 1) rest
-            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
-        | _ -> (
-            match parse_line line with
-            | Ok ev -> go (Call ev :: acc) (lineno + 1) rest
-            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)))
-  in
-  go [] 1 (String.split_on_char '\n' text)
-
-let encode_items items =
-  let buf = Buffer.create (Array.length items * 40) in
-  Array.iter
-    (fun it ->
-      Buffer.add_string buf (encode_item it);
-      Buffer.add_char buf '\n')
-    items;
-  Buffer.contents buf
+  match decode_mixed text with
+  | Error e -> Error e
+  | Ok items ->
+      Ok
+        (Array.of_list
+           (List.filter_map
+              (function Call ev -> Some ev | Query _ -> None)
+              (Array.to_list items)))
 
 let save stream path =
   let oc = open_out_bin path in

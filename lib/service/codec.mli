@@ -1,40 +1,49 @@
-(** Wire format of the monitoring daemon: one tagged call event per
-    line, [session<TAB>caller<TAB>block<TAB>symbol], with the symbol in
-    the {!Runtime.Trace_io} encoding. This is what a deployed Calls
-    Collector ships over the wire — the per-process trace format plus a
-    session id (the PID Dyninst reports).
+(** Compatibility surface of the pre-redesign wire API.
+
+    The line format itself now lives in {!Transport.Text} (one
+    [encode]/[decode] pair behind the common {!Transport.S} signature,
+    next to the binary {!Frame.T}); this module keeps the historical
+    per-kind entry points as thin aliases so existing callers and
+    recorded streams keep working. New code should program against
+    {!Transport.S} and pick the wire format at the edge.
 
     Decoding is total: malformed input yields [Error "line N: ..."]
     (1-based line numbers), never an exception. Blank lines, CRLF
     endings and [#] comment lines are tolerated. *)
 
-type event = Adprom.Sessions.tagged = {
+type event = Transport.event = {
   session : int;
   event : Runtime.Collector.event;
 }
 
-type query = { q_session : int; rows : int; sql : string }
+type query = Transport.query = { q_session : int; rows : int; sql : string }
 (** An executed-query record for the query-signature axis:
     [q<TAB>session<TAB>rows<TAB>sql] on the wire. [rows] is the result
-    cardinality the DBMS reported; [sql] is the executed text with
-    parameters bound (it may itself contain tabs — only the first three
-    fields split). *)
+    cardinality the DBMS reported — negative counts are rejected at
+    parse time (a corrupt cardinality would silently skew the qsig
+    bands); [sql] is the executed text with parameters bound (it may
+    itself contain tabs — only the first three fields split). *)
 
-type item = Call of event | Query of query
+type item = Transport.item = Call of event | Query of query
 (** One wire line of a mixed stream: call events interleaved with
     executed queries. *)
 
 val encode_event : event -> string
-(** One line, without the trailing newline. *)
+(** Deprecated alias of {!Transport.Text.encode_line} on a [Call];
+    one line, without the trailing newline. *)
 
 val encode_query : query -> string
+(** Deprecated alias — {!Transport.Text.encode_line} on a [Query]. *)
 
 val encode_item : item -> string
+(** Deprecated alias of {!Transport.Text.encode_line}. *)
 
 val parse_line : string -> (event, string) result
-(** Parse one wire line (no line-number context; {!decode} adds it). *)
+(** Deprecated alias of {!Transport.Text.parse_event_line} (no
+    line-number context; {!decode} adds it). *)
 
 val parse_query_line : string -> (query, string) result
+(** Deprecated alias of {!Transport.Text.parse_query_line}. *)
 
 val is_query_line : string -> bool
 (** True when the line carries a {!query} ([q<TAB>...] prefix). *)
@@ -42,13 +51,15 @@ val is_query_line : string -> bool
 val encode : event array -> string
 
 val encode_items : item array -> string
+(** Alias of {!Transport.encode_all} over {!Transport.Text}. *)
 
 val decode : string -> (event array, string) result
-(** Call events only. Query lines are skipped, so pre-query consumers
-    keep decoding mixed streams unchanged; use {!decode_mixed} to see
-    both. *)
+(** Call events only. Query lines are validated, then skipped, so
+    pre-query consumers keep decoding mixed streams unchanged; use
+    {!decode_mixed} to see both. *)
 
 val decode_mixed : string -> (item array, string) result
+(** Alias of {!Transport.decode_all} over {!Transport.Text}. *)
 
 val save : event array -> string -> unit
 

@@ -1,0 +1,861 @@
+module Trace_io = Runtime.Trace_io
+module Symbol = Analysis.Symbol
+
+let protocol_version = 1
+let magic = "\xad\x51"
+let max_payload = 1 lsl 24
+
+type node_summary = {
+  node : string;
+  summary : Daemon.summary;
+  incidents : (int * string) list;
+  fused : (int * Alerts.fused) list;
+}
+
+type frame =
+  | Hello of { version : int; peer : string }
+  | Ack of { count : int }
+  | Call of Transport.event
+  | Query of Transport.query
+  | Metrics_req
+  | Metrics_resp of string
+  | Bye
+  | Summary of node_summary
+
+type error =
+  | Bad_magic of { byte0 : int; byte1 : int }
+  | Bad_version of int
+  | Bad_frame_type of int
+  | Frame_too_large of { length : int; limit : int }
+  | Bad_payload of { frame : string; reason : string }
+  | Truncated of { pending : int }
+
+let error_to_string = function
+  | Bad_magic { byte0; byte1 } ->
+      Printf.sprintf "bad magic 0x%02x 0x%02x (not an adprom binary stream)"
+        byte0 byte1
+  | Bad_version v ->
+      Printf.sprintf "unsupported protocol version %d (this build speaks <= %d)"
+        v protocol_version
+  | Bad_frame_type t -> Printf.sprintf "unknown frame type %d" t
+  | Frame_too_large { length; limit } ->
+      Printf.sprintf "frame payload of %d bytes exceeds the %d-byte limit"
+        length limit
+  | Bad_payload { frame; reason } ->
+      Printf.sprintf "malformed %s frame: %s" frame reason
+  | Truncated { pending } ->
+      Printf.sprintf "truncated stream: %d byte(s) of an incomplete frame"
+        pending
+
+let tag_of_frame = function
+  | Hello _ -> 0
+  | Ack _ -> 1
+  | Call _ -> 2
+  | Query _ -> 3
+  | Metrics_req -> 4
+  | Metrics_resp _ -> 5
+  | Bye -> 6
+  | Summary _ -> 7
+
+let frame_name_of_tag = function
+  | 0 -> "hello"
+  | 1 -> "ack"
+  | 2 -> "call"
+  | 3 -> "query"
+  | 4 -> "metrics-req"
+  | 5 -> "metrics-resp"
+  | 6 -> "bye"
+  | 7 -> "summary"
+  | _ -> "unknown"
+
+let frame_name f = frame_name_of_tag (tag_of_frame f)
+
+(* ------------------------------------------------------------------ *)
+(* primitive writers — frames are staged in a resizable [bytes] with
+   unsafe single-byte stores and blitted into the caller's Buffer in
+   one piece. The hot path writes millions of ten-byte frames;
+   Buffer's per-char dispatch plus the old stage-then-copy were the
+   dominant encode cost. *)
+
+type writer = { mutable wbuf : Bytes.t; mutable wpos : int }
+
+let writer_need w extra =
+  let total = w.wpos + extra in
+  if total > Bytes.length w.wbuf then begin
+    let cap = ref (2 * Bytes.length w.wbuf) in
+    while total > !cap do
+      cap := 2 * !cap
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit w.wbuf 0 b 0 w.wpos;
+    w.wbuf <- b
+  end
+
+let add_u8 w v =
+  writer_need w 1;
+  Bytes.unsafe_set w.wbuf w.wpos (Char.unsafe_chr v);
+  w.wpos <- w.wpos + 1
+
+let add_varint w n =
+  (* LEB128 over the int's 63 bits; [lsr] terminates for any input *)
+  writer_need w 9;
+  let b = w.wbuf in
+  let p = ref w.wpos in
+  let n = ref n in
+  while !n land lnot 0x7f <> 0 do
+    Bytes.unsafe_set b !p (Char.unsafe_chr (!n land 0x7f lor 0x80));
+    incr p;
+    n := !n lsr 7
+  done;
+  Bytes.unsafe_set b !p (Char.unsafe_chr !n);
+  w.wpos <- !p + 1
+
+let add_zigzag w n = add_varint w ((n lsl 1) lxor (n asr 62))
+
+let add_str w s =
+  let len = String.length s in
+  add_varint w len;
+  writer_need w len;
+  Bytes.blit_string s 0 w.wbuf w.wpos len;
+  w.wpos <- w.wpos + len
+
+let add_opt_int w = function None -> add_u8 w 0 | Some v -> add_varint w (v + 1)
+let add_bool w b = add_u8 w (if b then 1 else 0)
+
+let add_fixed64 w bits =
+  writer_need w 8;
+  let b = w.wbuf and p = w.wpos in
+  for i = 0 to 7 do
+    Bytes.unsafe_set b (p + i)
+      (Char.unsafe_chr (Int64.to_int (Int64.shift_right_logical bits (i * 8)) land 0xff))
+  done;
+  w.wpos <- p + 8
+
+let add_flag w (f : Adprom.Detector.flag) =
+  add_u8 w
+    (match f with Normal -> 0 | Anomalous -> 1 | Data_leak -> 2 | Out_of_context -> 3)
+
+let add_fused w (f : Alerts.fused) =
+  add_u8 w
+    (match f with No_alarm -> 0 | Sequence_only -> 1 | Query_only -> 2 | Both_axes -> 3)
+
+let add_verdict buf (v : Adprom.Detector.verdict) =
+  add_flag buf v.flag;
+  add_fixed64 buf (Int64.bits_of_float v.score);
+  add_bool buf v.unknown_symbol;
+  match v.unknown_pair with
+  | None -> add_bool buf false
+  | Some (caller, sym) ->
+      add_bool buf true;
+      add_str buf caller;
+      add_str buf (Trace_io.encode_symbol sym)
+
+(* ------------------------------------------------------------------ *)
+(* primitive readers — total: every failure raises the local [Fail],
+   which the frame loop turns into [Bad_payload] *)
+
+exception Fail of string
+
+type cursor = { mutable cbuf : string; mutable p : int; mutable cstop : int }
+
+let u8 c =
+  if c.p >= c.cstop then raise (Fail "unexpected end of payload")
+  else begin
+    let v = Char.code c.cbuf.[c.p] in
+    c.p <- c.p + 1;
+    v
+  end
+
+let varint c =
+  let b = u8 c in
+  if b < 0x80 then b (* the overwhelmingly common single-byte case *)
+  else begin
+    let rec go shift acc =
+      if shift > 56 then raise (Fail "varint too long")
+      else begin
+        let b = u8 c in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then acc else go (shift + 7) acc
+      end
+    in
+    go 7 (b land 0x7f)
+  end
+
+let zigzag c =
+  let z = varint c in
+  (z lsr 1) lxor (-(z land 1))
+
+let bytes c n =
+  if n < 0 || n > c.cstop - c.p then raise (Fail "string length out of range")
+  else begin
+    let s = String.sub c.cbuf c.p n in
+    c.p <- c.p + n;
+    s
+  end
+
+let str c = bytes c (varint c)
+
+let opt_int c = match varint c with 0 -> None | v -> Some (v - 1)
+
+let bool c =
+  match u8 c with
+  | 0 -> false
+  | 1 -> true
+  | b -> raise (Fail (Printf.sprintf "bad boolean byte %d" b))
+
+let fixed64 c =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (u8 c)) (i * 8))
+  done;
+  !bits
+
+let flag c : Adprom.Detector.flag =
+  match u8 c with
+  | 0 -> Normal
+  | 1 -> Anomalous
+  | 2 -> Data_leak
+  | 3 -> Out_of_context
+  | b -> raise (Fail (Printf.sprintf "bad verdict flag %d" b))
+
+let fused c : Alerts.fused =
+  match u8 c with
+  | 0 -> No_alarm
+  | 1 -> Sequence_only
+  | 2 -> Query_only
+  | 3 -> Both_axes
+  | b -> raise (Fail (Printf.sprintf "bad fused-axes tag %d" b))
+
+let verdict c : Adprom.Detector.verdict =
+  let flag = flag c in
+  let score = Int64.float_of_bits (fixed64 c) in
+  let unknown_symbol = bool c in
+  let unknown_pair =
+    if not (bool c) then None
+    else begin
+      let caller = str c in
+      match Trace_io.decode_symbol (str c) with
+      | Ok sym -> Some (caller, sym)
+      | Error e -> raise (Fail (Printf.sprintf "bad symbol in verdict: %s" e))
+    end
+  in
+  { flag; score; unknown_symbol; unknown_pair }
+
+let read_list c f =
+  let n = varint c in
+  (* every element costs at least one byte, so the remaining payload
+     bounds a well-formed length — rejects absurd counts up front *)
+  if n > c.cstop - c.p then raise (Fail "list length out of range")
+  else begin
+    let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f c :: acc) in
+    go n []
+  end
+
+(* ------------------------------------------------------------------ *)
+
+module Encoder = struct
+  type t = {
+    interned : (string, int) Hashtbl.t;
+    cache : string array;  (* direct-mapped accelerator in front of the
+                              Hashtbl: the stream re-emits the same few
+                              dozen caller/symbol strings forever, and a
+                              physical-equality probe beats hashing them
+                              on every single frame *)
+    cache_idx : int array;
+    mutable next : int;
+    w : writer;  (* staged frames, header slots included, so each length
+                    prefix is patched in place — no second copy *)
+    mutable fstart : int;  (* where the frame being built starts in [w] *)
+  }
+
+  let cache_slots = 512 (* power of two; a stream carries a few dozen
+                           distinct strings, so collisions — which send
+                           every hit on the colliding pair through the
+                           Hashtbl — want headroom, not snugness *)
+
+  (* Frames accumulate in the writer and move to the caller's Buffer in
+     batches: one [Buffer.add_subbytes] per ~4 KiB instead of one per
+     ten-byte call frame. [flush] drains the remainder — the transport
+     contract requires it before the buffer's bytes are used. *)
+  let stage_limit = 4096
+
+  let create () =
+    { interned = Hashtbl.create 64;
+      cache = Array.make cache_slots "";
+      cache_idx = Array.make cache_slots 0;
+      next = 0;
+      w = { wbuf = Bytes.create (2 * stage_limit); wpos = 0 };
+      fstart = 0 }
+
+  let flush e out =
+    let w = e.w in
+    if w.wpos > 0 then begin
+      Buffer.add_subbytes out w.wbuf 0 w.wpos;
+      w.wpos <- 0
+    end
+
+  let slot_of s =
+    (* a hash cheap enough to lose to nothing: length, boundary and
+       middle chars; collisions just fall through to the Hashtbl *)
+    let n = String.length s in
+    (n
+    + (Char.code (String.unsafe_get s 0) lsl 2)
+    + (Char.code (String.unsafe_get s (n - 1)) lsl 4)
+    + (Char.code (String.unsafe_get s (n lsr 1)) lsl 1))
+    land (cache_slots - 1)
+
+  let add_strref e s =
+    if String.length s = 0 then begin
+      match Hashtbl.find_opt e.interned s with
+      | Some i -> add_varint e.w (i + 1)
+      | None ->
+          Hashtbl.add e.interned s e.next;
+          e.next <- e.next + 1;
+          add_u8 e.w 0;
+          add_str e.w s
+    end
+    else begin
+      let slot = slot_of s in
+      if String.equal (Array.unsafe_get e.cache slot) s then
+        add_varint e.w (Array.unsafe_get e.cache_idx slot + 1)
+      else begin
+        (match Hashtbl.find_opt e.interned s with
+        | Some i -> add_varint e.w (i + 1)
+        | None ->
+            Hashtbl.add e.interned s e.next;
+            e.next <- e.next + 1;
+            add_u8 e.w 0;
+            add_str e.w s);
+        (* cache the index the string now has, whoever assigned it *)
+        Array.unsafe_set e.cache slot s;
+        Array.unsafe_set e.cache_idx slot (Hashtbl.find e.interned s)
+      end
+    end
+
+  let add_symbol e (sym : Symbol.t) =
+    match sym with
+    | Entry -> add_u8 e.w 0
+    | Exit -> add_u8 e.w 1
+    | Func name ->
+        add_u8 e.w 2;
+        add_strref e name
+    | Lib { name; label; site } ->
+        add_u8 e.w 3;
+        add_strref e name;
+        add_opt_int e.w label;
+        add_opt_int e.w site
+
+  let begin_frame e =
+    (* reserve the header slot after whatever is already staged *)
+    writer_need e.w 8;
+    e.fstart <- e.w.wpos;
+    e.w.wpos <- e.w.wpos + 8
+
+  let end_frame e out tag =
+    let w = e.w in
+    let fs = e.fstart in
+    let len = w.wpos - fs - 8 in
+    if len > max_payload then begin
+      w.wpos <- fs; (* drop the staged frame: the stream must stay whole *)
+      invalid_arg
+        (Printf.sprintf "Frame.Encoder.add: %s payload of %d bytes exceeds %d"
+           (frame_name_of_tag tag) len max_payload)
+    end;
+    let b = w.wbuf in
+    Bytes.unsafe_set b fs magic.[0];
+    Bytes.unsafe_set b (fs + 1) magic.[1];
+    Bytes.unsafe_set b (fs + 2) (Char.unsafe_chr protocol_version);
+    Bytes.unsafe_set b (fs + 3) (Char.unsafe_chr tag);
+    Bytes.unsafe_set b (fs + 4) (Char.unsafe_chr (len lsr 24 land 0xff));
+    Bytes.unsafe_set b (fs + 5) (Char.unsafe_chr (len lsr 16 land 0xff));
+    Bytes.unsafe_set b (fs + 6) (Char.unsafe_chr (len lsr 8 land 0xff));
+    Bytes.unsafe_set b (fs + 7) (Char.unsafe_chr (len land 0xff));
+    if w.wpos >= stage_limit then flush e out
+
+  (* the item hot path, shared by [add] and {!T.encode} *)
+
+  let add_call_slow e out { Transport.session; event } =
+    begin_frame e;
+    add_varint e.w session;
+    add_strref e event.Runtime.Collector.caller;
+    add_zigzag e.w event.Runtime.Collector.block;
+    add_symbol e event.Runtime.Collector.symbol;
+    end_frame e out 2
+
+  (* [put_varint b p n] writes at [p] (capacity pre-checked) and
+     returns the next position — position-passing instead of a ref so
+     nothing escapes to the heap *)
+  let put_varint b p n =
+    if n land lnot 0x7f = 0 then begin
+      Bytes.unsafe_set b p (Char.unsafe_chr n);
+      p + 1
+    end
+    else begin
+      let p = ref p and n = ref n in
+      while !n land lnot 0x7f <> 0 do
+        Bytes.unsafe_set b !p (Char.unsafe_chr (!n land 0x7f lor 0x80));
+        incr p;
+        n := !n lsr 7
+      done;
+      Bytes.unsafe_set b !p (Char.unsafe_chr !n);
+      !p + 1
+    end
+
+  let put_opt b p = function
+    | None ->
+        Bytes.unsafe_set b p '\000';
+        p + 1
+    | Some v -> put_varint b p (v + 1)
+
+  (* Fused fast path: when every string of the frame is an interning
+     cache hit (the steady state — the Collector re-emits the same few
+     dozen strings forever) the whole frame is written with one
+     capacity check and inline varints, no interning-table mutation.
+     Any miss falls back to the generic writers above, which also
+     maintain the tables. Worst fused payload: 6 varints (9 bytes
+     each) + 1 tag byte = 55, plus the 8-byte header — the single
+     [writer_need w 64] covers it. *)
+  let cached_ref e s =
+    if String.length s = 0 then -1
+    else begin
+      let slot = slot_of s in
+      if String.equal (Array.unsafe_get e.cache slot) s then
+        Array.unsafe_get e.cache_idx slot + 1
+      else -1
+    end
+
+  let add_call e out ({ Transport.session; event } as ev) =
+    if session < 0 then invalid_arg "Frame.Encoder.add: negative session id";
+    let cref = cached_ref e event.Runtime.Collector.caller in
+    if cref < 0 then add_call_slow e out ev
+    else begin
+      let w = e.w in
+      writer_need w 64;
+      let b = w.wbuf in
+      let block = event.Runtime.Collector.block in
+      e.fstart <- w.wpos;
+      let p = put_varint b (w.wpos + 8) session in
+      let p = put_varint b p cref in
+      let p = put_varint b p ((block lsl 1) lxor (block asr 62)) in
+      match event.Runtime.Collector.symbol with
+      | Entry ->
+          Bytes.unsafe_set b p '\000';
+          w.wpos <- p + 1;
+          end_frame e out 2
+      | Exit ->
+          Bytes.unsafe_set b p '\001';
+          w.wpos <- p + 1;
+          end_frame e out 2
+      | Func name ->
+          let nref = cached_ref e name in
+          if nref < 0 then add_call_slow e out ev
+          else begin
+            Bytes.unsafe_set b p '\002';
+            w.wpos <- put_varint b (p + 1) nref;
+            end_frame e out 2
+          end
+      | Lib { name; label; site } ->
+          let nref = cached_ref e name in
+          if nref < 0 then add_call_slow e out ev
+          else begin
+            Bytes.unsafe_set b p '\003';
+            let p = put_varint b (p + 1) nref in
+            let p = put_opt b p label in
+            let p = put_opt b p site in
+            w.wpos <- p;
+            end_frame e out 2
+          end
+    end
+
+  let add_query e out { Transport.q_session; rows; sql } =
+    if q_session < 0 then invalid_arg "Frame.Encoder.add: negative session id";
+    if rows < 0 then invalid_arg "Frame.Encoder.add: negative row count";
+    begin_frame e;
+    add_varint e.w q_session;
+    add_varint e.w rows;
+    add_str e.w sql;
+    end_frame e out 3
+
+  let encode_payload e = function
+    | Call _ | Query _ -> assert false (* [add] dispatches those *)
+    | Hello { version; peer } ->
+        add_varint e.w version;
+        add_str e.w peer
+    | Ack { count } -> add_varint e.w count
+    | Metrics_req | Bye -> ()
+    | Metrics_resp dump ->
+        let w = e.w in
+        let len = String.length dump in
+        writer_need w len;
+        Bytes.blit_string dump 0 w.wbuf w.wpos len;
+        w.wpos <- w.wpos + len
+    | Summary { node; summary; incidents; fused = fu } ->
+        let buf = e.w in
+        add_str buf node;
+        add_varint buf summary.Daemon.events_offered;
+        add_varint buf summary.Daemon.events_ingested;
+        add_varint buf summary.Daemon.events_dropped;
+        add_varint buf (List.length summary.Daemon.sessions);
+        List.iter
+          (fun (r : Daemon.session_report) ->
+            add_varint buf r.session;
+            add_varint buf r.events;
+            add_varint buf r.windows;
+            add_flag buf r.worst;
+            add_varint buf (List.length r.verdicts);
+            List.iter (add_verdict buf) r.verdicts;
+            add_varint buf r.qsig_checks;
+            add_varint buf r.qsig_anomalies)
+          summary.Daemon.sessions;
+        add_varint buf (List.length summary.Daemon.shed);
+        List.iter
+          (fun (s, dropped, discarded) ->
+            add_varint buf s;
+            add_varint buf dropped;
+            add_varint buf discarded)
+          summary.Daemon.shed;
+        add_varint buf (List.length incidents);
+        List.iter
+          (fun (s, text) ->
+            add_varint buf s;
+            add_str buf text)
+          incidents;
+        add_varint buf (List.length fu);
+        List.iter
+          (fun (s, f) ->
+            add_varint buf s;
+            add_fused buf f)
+          fu
+
+  let add e out frame =
+    match frame with
+    | Call ev -> add_call e out ev
+    | Query q -> add_query e out q
+    | _ ->
+        begin_frame e;
+        encode_payload e frame;
+        end_frame e out (tag_of_frame frame)
+end
+
+module Decoder = struct
+  type t = {
+    pending : Buffer.t;  (* at most one incomplete frame *)
+    mutable interned : string array;
+    mutable interned_len : int;
+    mutable dead : error option;
+  }
+
+  let create () =
+    { pending = Buffer.create 256; interned = [||]; interned_len = 0; dead = None }
+
+  (* The table's memory is bounded by the bytes the peer actually sent
+     (an inline definition costs its full length on the wire), so no
+     separate cap is needed. *)
+  let intern_push d s =
+    if d.interned_len = Array.length d.interned then begin
+      let a = Array.make (max 16 (2 * d.interned_len)) "" in
+      Array.blit d.interned 0 a 0 d.interned_len;
+      d.interned <- a
+    end;
+    d.interned.(d.interned_len) <- s;
+    d.interned_len <- d.interned_len + 1;
+    s
+
+  let strref d c =
+    match varint c with
+    | 0 -> intern_push d (str c)
+    | k when k - 1 < d.interned_len -> d.interned.(k - 1)
+    | k -> raise (Fail (Printf.sprintf "string reference %d out of range" k))
+
+  let symbol d c : Symbol.t =
+    match u8 c with
+    | 0 -> Entry
+    | 1 -> Exit
+    | 2 -> Func (strref d c)
+    | 3 ->
+        let name = strref d c in
+        let label = opt_int c in
+        let site = opt_int c in
+        Lib { name; label; site }
+    | b -> raise (Fail (Printf.sprintf "bad symbol tag %d" b))
+
+  let decode_payload d tag s pos stop =
+    let c = { cbuf = s; p = pos; cstop = stop } in
+    let frame =
+      match tag with
+      | 0 ->
+          let version = varint c in
+          let peer = str c in
+          Hello { version; peer }
+      | 1 -> Ack { count = varint c }
+      | 2 ->
+          let session = varint c in
+          let caller = strref d c in
+          let block = zigzag c in
+          let symbol = symbol d c in
+          Call { Transport.session; event = { Runtime.Collector.caller; block; symbol } }
+      | 3 ->
+          let q_session = varint c in
+          let rows = varint c in
+          let sql = str c in
+          Query { Transport.q_session; rows; sql }
+      | 4 -> Metrics_req
+      | 5 ->
+          c.p <- stop;  (* the whole payload is the dump text *)
+          Metrics_resp (String.sub s pos (stop - pos))
+      | 6 -> Bye
+      | 7 ->
+          let node = str c in
+          let events_offered = varint c in
+          let events_ingested = varint c in
+          let events_dropped = varint c in
+          let sessions =
+            read_list c (fun c ->
+                let session = varint c in
+                let events = varint c in
+                let windows = varint c in
+                let worst = flag c in
+                let verdicts = read_list c verdict in
+                let qsig_checks = varint c in
+                let qsig_anomalies = varint c in
+                { Daemon.session; events; windows; worst; verdicts;
+                  qsig_checks; qsig_anomalies })
+          in
+          let shed =
+            read_list c (fun c ->
+                let s = varint c in
+                let dropped = varint c in
+                let discarded = varint c in
+                (s, dropped, discarded))
+          in
+          let incidents =
+            read_list c (fun c ->
+                let s = varint c in
+                let text = str c in
+                (s, text))
+          in
+          let fu =
+            read_list c (fun c ->
+                let s = varint c in
+                let f = fused c in
+                (s, f))
+          in
+          Summary
+            { node;
+              summary =
+                { Daemon.sessions; shed; events_offered; events_ingested;
+                  events_dropped };
+              incidents;
+              fused = fu }
+      | _ -> assert false (* the frame loop rejected the tag already *)
+    in
+    if c.p <> stop then raise (Fail "trailing bytes after payload");
+    frame
+
+  let parse_frames d s pos stop ~init ~f =
+    let rec go acc i =
+      if stop - i < 8 then Ok (acc, i)
+      else begin
+        let b0 = Char.code (String.unsafe_get s i)
+        and b1 = Char.code (String.unsafe_get s (i + 1)) in
+        if b0 <> Char.code magic.[0] || b1 <> Char.code magic.[1] then
+          Error (Bad_magic { byte0 = b0; byte1 = b1 })
+        else begin
+          let ver = Char.code (String.unsafe_get s (i + 2)) in
+          if ver < 1 || ver > protocol_version then Error (Bad_version ver)
+          else begin
+            let tag = Char.code (String.unsafe_get s (i + 3)) in
+            if tag > 7 then Error (Bad_frame_type tag)
+            else begin
+              let len =
+                (Char.code (String.unsafe_get s (i + 4)) lsl 24)
+                lor (Char.code (String.unsafe_get s (i + 5)) lsl 16)
+                lor (Char.code (String.unsafe_get s (i + 6)) lsl 8)
+                lor Char.code (String.unsafe_get s (i + 7))
+              in
+              if len > max_payload then
+                Error (Frame_too_large { length = len; limit = max_payload })
+              else if stop - i - 8 < len then Ok (acc, i)
+              else
+                match decode_payload d tag s (i + 8) (i + 8 + len) with
+                | frame -> go (f acc frame) (i + 8 + len)
+                | exception Fail reason ->
+                    Error
+                      (Bad_payload { frame = frame_name_of_tag tag; reason })
+            end
+          end
+        end
+      end
+    in
+    go init pos
+
+  (* [parse_frames] specialized to an item stream: call and query
+     payloads decode straight to {!Transport.item} — no intermediate
+     [frame] box, one cursor reused across the whole chunk. This is the
+     hot loop behind {!T.fold}, which the serve loop and the replay
+     reader drive. *)
+  let parse_items d s pos stop ~init ~f =
+    let c = { cbuf = s; p = 0; cstop = 0 } in
+    let rec go acc i =
+      if stop - i < 8 then Ok (acc, i)
+      else begin
+        let b0 = Char.code (String.unsafe_get s i)
+        and b1 = Char.code (String.unsafe_get s (i + 1)) in
+        if b0 <> Char.code magic.[0] || b1 <> Char.code magic.[1] then
+          Error (Bad_magic { byte0 = b0; byte1 = b1 })
+        else begin
+          let ver = Char.code (String.unsafe_get s (i + 2)) in
+          if ver < 1 || ver > protocol_version then Error (Bad_version ver)
+          else begin
+            let tag = Char.code (String.unsafe_get s (i + 3)) in
+            if tag > 7 then Error (Bad_frame_type tag)
+            else begin
+              let len =
+                (Char.code (String.unsafe_get s (i + 4)) lsl 24)
+                lor (Char.code (String.unsafe_get s (i + 5)) lsl 16)
+                lor (Char.code (String.unsafe_get s (i + 6)) lsl 8)
+                lor Char.code (String.unsafe_get s (i + 7))
+              in
+              if len > max_payload then
+                Error (Frame_too_large { length = len; limit = max_payload })
+              else if stop - i - 8 < len then Ok (acc, i)
+              else begin
+                c.p <- i + 8;
+                c.cstop <- i + 8 + len;
+                if tag = 2 then
+                  match
+                    let session = varint c in
+                    let caller = strref d c in
+                    let block = zigzag c in
+                    let symbol = symbol d c in
+                    if c.p <> c.cstop then
+                      raise_notrace (Fail "trailing bytes after payload");
+                    { Transport.session;
+                      event = { Runtime.Collector.caller; block; symbol } }
+                  with
+                  | ev -> go (f acc (Transport.Call ev)) (i + 8 + len)
+                  | exception Fail reason ->
+                      Error (Bad_payload { frame = "call"; reason })
+                else if tag = 3 then
+                  match
+                    let q_session = varint c in
+                    let rows = varint c in
+                    let sql = str c in
+                    if c.p <> c.cstop then
+                      raise_notrace (Fail "trailing bytes after payload");
+                    { Transport.q_session; rows; sql }
+                  with
+                  | q -> go (f acc (Transport.Query q)) (i + 8 + len)
+                  | exception Fail reason ->
+                      Error (Bad_payload { frame = "query"; reason })
+                else if tag = 0 then
+                  (* record files may open with a hello; validate and skip *)
+                  match
+                    ignore (varint c);
+                    ignore (str c);
+                    if c.p <> c.cstop then
+                      raise_notrace (Fail "trailing bytes after payload")
+                  with
+                  | () -> go acc (i + 8 + len)
+                  | exception Fail reason ->
+                      Error (Bad_payload { frame = "hello"; reason })
+                else
+                  Error
+                    (Bad_payload
+                       { frame = frame_name_of_tag tag;
+                         reason = "control frame in an item stream" })
+              end
+            end
+          end
+        end
+      end
+    in
+    go init pos
+
+  (* the generic chunk pump: pending-buffer stitching and poisoning in
+     one place; [parse] is {!parse_frames} or {!parse_items}, [f] folds
+     each completed frame or item *)
+  let feed_gen parse d ?(pos = 0) ?len s ~init ~f =
+    match d.dead with
+    | Some e -> Error e
+    | None -> (
+        let len = match len with Some l -> l | None -> String.length s - pos in
+        let stop = pos + len in
+        let view, vpos, vstop =
+          if Buffer.length d.pending = 0 then (s, pos, stop)
+          else begin
+            (* a partial frame from the previous chunk: complete it *)
+            Buffer.add_substring d.pending s pos len;
+            let v = Buffer.contents d.pending in
+            Buffer.clear d.pending;
+            (v, 0, String.length v)
+          end
+        in
+        match parse d view vpos vstop ~init ~f with
+        | Error e ->
+            d.dead <- Some e;
+            Error e
+        | Ok (acc, i) ->
+            if i < vstop then Buffer.add_substring d.pending view i (vstop - i);
+            Ok acc)
+
+  let feed_fold d ?pos ?len s ~init ~f = feed_gen parse_frames d ?pos ?len s ~init ~f
+  let feed_items d ?pos ?len s ~init ~f = feed_gen parse_items d ?pos ?len s ~init ~f
+
+  let feed d ?pos ?len s =
+    match feed_fold d ?pos ?len s ~init:[] ~f:(fun acc fr -> fr :: acc) with
+    | Error e -> Error e
+    | Ok acc -> Ok (List.rev acc)
+
+  let finish d =
+    match d.dead with
+    | Some e -> Error e
+    | None ->
+        let n = Buffer.length d.pending in
+        if n = 0 then Ok ()
+        else begin
+          let e = Truncated { pending = n } in
+          d.dead <- Some e;
+          Error e
+        end
+end
+
+let detect s =
+  if String.length s >= 2 && s.[0] = magic.[0] && s.[1] = magic.[1] then
+    Transport.Binary
+  else Transport.Line
+
+module T = struct
+  let id = "binary"
+
+  type enc = Encoder.t
+  type dec = Decoder.t
+
+  let encoder = Encoder.create
+  let decoder = Decoder.create
+
+  let encode e buf = function
+    | Transport.Call ev -> Encoder.add_call e buf ev
+    | Transport.Query q -> Encoder.add_query e buf q
+
+  let flush = Encoder.flush
+
+  let fold d ?pos ?len s ~init ~f =
+    match Decoder.feed_items d ?pos ?len s ~init ~f with
+    | Error e -> Error (error_to_string e)
+    | Ok acc -> Ok acc
+
+  let feed d ?pos ?len s =
+    match fold d ?pos ?len s ~init:[] ~f:(fun its it -> it :: its) with
+    | Error e -> Error e
+    | Ok its -> Ok (List.rev its)
+
+  let finish d =
+    match Decoder.finish d with
+    | Error e -> Error (error_to_string e)
+    | Ok () -> Ok []
+end
+
+let transport_of_wire : Transport.wire -> (module Transport.S) = function
+  | Transport.Line -> (module Transport.Text)
+  | Transport.Binary -> (module T)

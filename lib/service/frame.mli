@@ -1,0 +1,126 @@
+(** The versioned binary wire protocol of the scale-out tier.
+
+    Every frame is [magic(2) version(1) type(1) length(4, big-endian)]
+    followed by [length] payload bytes. Integers inside payloads are
+    LEB128 varints (zigzag for the possibly-negative block id), floats
+    are IEEE-754 bits (so scores survive the wire bit-for-bit), and the
+    caller/symbol strings of call events are {e interned per
+    connection}: the first use ships the bytes and assigns the next
+    table index, every later use is a one-or-two-byte back-reference —
+    the Calls Collector re-emits the same few dozen strings millions of
+    times, and this is what keeps the frame for a typical call event
+    under ten bytes.
+
+    Frame kinds: [Hello] (version negotiation, exchanged once per
+    connection), [Call]/[Query] (the stream items), [Ack] (periodic
+    ingestion feedback from a node), [Metrics_req]/[Metrics_resp]
+    (cross-node metrics aggregation), [Bye] (end of stream — the node
+    drains its daemon and answers with) [Summary] (per-session verdicts,
+    shed accounting, rendered incidents and fused axes).
+
+    Decoding is total: any malformed byte yields a structured {!error},
+    never an exception, and the decoder stays dead afterwards (binary
+    framing cannot resynchronize). *)
+
+val protocol_version : int
+(** Current wire version (1). A decoder rejects frames stamped with a
+    newer version; {!Hello} lets peers agree on the minimum. *)
+
+val magic : string
+(** The two magic bytes every frame starts with — also how
+    {!detect} tells a binary record file from a text one. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload length; longer frames are
+    rejected as {!error.Frame_too_large} before any allocation. *)
+
+type node_summary = {
+  node : string;  (** the node's self-chosen name *)
+  summary : Daemon.summary;
+  incidents : (int * string) list;
+      (** (session, {!Alerts.source_to_string} rendering) — without the
+          per-node sequence numbers and timestamps *)
+  fused : (int * Alerts.fused) list;
+      (** per surviving session: which detection axes fired *)
+}
+
+type frame =
+  | Hello of { version : int; peer : string }
+  | Ack of { count : int }  (** events ingested on this connection so far *)
+  | Call of Transport.event
+  | Query of Transport.query
+  | Metrics_req
+  | Metrics_resp of string  (** a Prometheus-style {!Metrics.dump} *)
+  | Bye
+  | Summary of node_summary
+
+type error =
+  | Bad_magic of { byte0 : int; byte1 : int }
+  | Bad_version of int
+  | Bad_frame_type of int
+  | Frame_too_large of { length : int; limit : int }
+  | Bad_payload of { frame : string; reason : string }
+  | Truncated of { pending : int }
+      (** EOF with [pending] bytes of an incomplete frame buffered *)
+
+val error_to_string : error -> string
+
+val frame_name : frame -> string
+(** ["hello"], ["call"], ... — for diagnostics. *)
+
+module Encoder : sig
+  type t
+
+  val create : unit -> t
+  (** Fresh per-connection state: empty interned-string table. *)
+
+  val add : t -> Buffer.t -> frame -> unit
+  (** Stage one frame's bytes. Frames accumulate inside the encoder
+      and are appended to the buffer in ~4 KiB batches; call {!flush}
+      before the buffer's bytes are transmitted. Use one buffer per
+      encoder between flushes.
+      @raise Invalid_argument on a [Query] with negative [rows] (the
+      same corrupt-cardinality guard the text parser applies). *)
+
+  val flush : t -> Buffer.t -> unit
+  (** Append any staged frames to [buf]. *)
+end
+
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> ?pos:int -> ?len:int -> string -> (frame list, error) result
+  (** Consume one chunk (a TCP read, or a whole file) and return the
+      frames it completed. Partial trailing bytes are buffered. An
+      [Error] poisons the decoder: every later call returns it again. *)
+
+  val feed_fold :
+    t ->
+    ?pos:int ->
+    ?len:int ->
+    string ->
+    init:'a ->
+    f:('a -> frame -> 'a) ->
+    ('a, error) result
+  (** Like {!feed}, but apply [f] to each frame as it completes — the
+      serve loop dispatches straight off the wire without building a
+      frame list per chunk. *)
+
+  val finish : t -> (unit, error) result
+  (** End of stream: [Error (Truncated _)] if an incomplete frame is
+      still buffered. *)
+end
+
+val detect : string -> Transport.wire
+(** [Binary] when the buffer starts with {!magic}, [Line] otherwise —
+    lets `adprom replay`/`route` read either record format. *)
+
+val transport_of_wire : Transport.wire -> (module Transport.S)
+
+module T : Transport.S
+(** The binary format behind the common transport signature: items
+    become [Call]/[Query] frames. [feed] tolerates interleaved [Hello]
+    frames (record files may carry one) and rejects any other control
+    frame as out of place in an item stream. *)

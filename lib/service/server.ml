@@ -1,0 +1,234 @@
+let ack_interval = 4096
+
+let bind ?(backlog = 16) ?(host = "127.0.0.1") port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd backlog;
+  let port =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, port)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          ignore (Unix.select [] [fd] [] (-1.0));
+          go off
+  in
+  go 0
+
+type codec_state =
+  | Undecided of Buffer.t  (* fewer than the two magic-detect bytes seen *)
+  | Bin of Frame.Decoder.t * Frame.Encoder.t
+  | Txt of Transport.Text.dec
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable codec : codec_state;
+  mutable ingested : int;
+  mutable acked : int;
+}
+
+let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
+    ?metrics ?alerts ?vet_against ?vet_policy ?static_gate ?qsig_mode
+    ?qsig_profile profile =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let daemon =
+    Daemon.create ?shards ?queue_capacity ?keep_verdicts ~metrics ?alerts
+      ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile profile
+  in
+  let c_conns = Metrics.counter metrics "adprom_wire_connections_total" in
+  let c_frames = Metrics.counter metrics "adprom_wire_frames_total" in
+  let c_bytes = Metrics.counter metrics "adprom_wire_bytes_total" in
+  let c_decode_err = Metrics.counter metrics "adprom_wire_decode_errors_total" in
+  let t0 = Unix.gettimeofday () in
+  let conns = ref [] in
+  let stop = ref None in
+  let chunk = Bytes.create 65536 in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun x -> x != c) !conns
+  in
+  let ingest_items c items =
+    List.iter
+      (fun it ->
+        ignore (Daemon.ingest_item daemon it);
+        c.ingested <- c.ingested + 1)
+      items
+  in
+  let reply enc c frame =
+    let out = Buffer.create 64 in
+    Frame.Encoder.add enc out frame;
+    Frame.Encoder.flush enc out;
+    write_all c.fd (Buffer.contents out)
+  in
+  let handle_frame c enc (f : Frame.frame) =
+    Metrics.incr c_frames;
+    match f with
+    | Frame.Hello _ ->
+        reply enc c
+          (Frame.Hello { version = Frame.protocol_version; peer = name })
+    | Frame.Call ev ->
+        ignore (Daemon.ingest daemon ev);
+        c.ingested <- c.ingested + 1
+    | Frame.Query q ->
+        ignore (Daemon.ingest_query daemon q);
+        c.ingested <- c.ingested + 1
+    | Frame.Metrics_req -> reply enc c (Frame.Metrics_resp (Metrics.dump metrics))
+    | Frame.Bye -> stop := Some c
+    | Frame.Ack _ | Frame.Metrics_resp _ | Frame.Summary _ ->
+        (* replies have no business arriving at a server *)
+        Metrics.incr c_decode_err;
+        close_conn c
+  in
+  let process c s =
+    match c.codec with
+    | Undecided _ -> assert false
+    | Bin (dec, enc) -> (
+        match
+          Frame.Decoder.feed_fold dec s ~init:() ~f:(fun () fr ->
+              handle_frame c enc fr)
+        with
+        | Ok () ->
+            if
+              !stop = None
+              && List.memq c !conns
+              && c.ingested - c.acked >= ack_interval
+            then begin
+              reply enc c (Frame.Ack { count = c.ingested });
+              c.acked <- c.ingested
+            end
+        | Error _ ->
+            Metrics.incr c_decode_err;
+            close_conn c)
+    | Txt dec -> (
+        match
+          Transport.Text.fold dec s ~init:() ~f:(fun () it ->
+              ignore (Daemon.ingest_item daemon it);
+              c.ingested <- c.ingested + 1)
+        with
+        | Ok () -> ()
+        | Error _ ->
+            Metrics.incr c_decode_err;
+            close_conn c)
+  in
+  let handle_chunk c s =
+    match c.codec with
+    | Undecided b ->
+        Buffer.add_string b s;
+        if Buffer.length b >= 2 then begin
+          let buffered = Buffer.contents b in
+          c.codec <-
+            (match Frame.detect buffered with
+            | Transport.Binary ->
+                Bin (Frame.Decoder.create (), Frame.Encoder.create ())
+            | Transport.Line -> Txt (Transport.Text.decoder ()));
+          process c buffered
+        end
+    | Bin _ | Txt _ -> process c s
+  in
+  let handle_eof c =
+    (match c.codec with
+    | Txt dec -> (
+        match Transport.Text.finish dec with
+        | Ok items -> ingest_items c items
+        | Error _ -> Metrics.incr c_decode_err)
+    | Bin (dec, _) -> (
+        match Frame.Decoder.finish dec with
+        | Ok () -> ()
+        | Error _ -> Metrics.incr c_decode_err)
+    | Undecided b when Buffer.length b > 0 -> (
+        (* a text stream shorter than the two detect bytes *)
+        let dec = Transport.Text.decoder () in
+        c.codec <- Txt dec;
+        match Transport.Text.feed dec (Buffer.contents b) with
+        | Ok items -> (
+            ingest_items c items;
+            match Transport.Text.finish dec with
+            | Ok items -> ingest_items c items
+            | Error _ -> Metrics.incr c_decode_err)
+        | Error _ -> Metrics.incr c_decode_err)
+    | Undecided _ -> ());
+    close_conn c
+  in
+  let rec loop () =
+    match !stop with
+    | Some _ -> ()
+    | None ->
+        let fds = socket :: List.map (fun c -> c.fd) !conns in
+        (match Unix.select fds [] [] 1.0 with
+        | readable, _, _ ->
+            List.iter
+              (fun fd ->
+                if fd = socket then begin
+                  let cfd, _ = Unix.accept socket in
+                  Metrics.incr c_conns;
+                  conns :=
+                    { fd = cfd;
+                      codec = Undecided (Buffer.create 8);
+                      ingested = 0;
+                      acked = 0 }
+                    :: !conns
+                end
+                else
+                  match List.find_opt (fun c -> c.fd = fd) !conns with
+                  | None -> ()
+                  | Some c -> (
+                      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                      | 0 -> handle_eof c
+                      | n ->
+                          Metrics.incr ~by:n c_bytes;
+                          handle_chunk c (Bytes.sub_string chunk 0 n)
+                      | exception Unix.Unix_error (ECONNRESET, _, _) ->
+                          handle_eof c))
+              readable
+        | exception Unix.Unix_error (EINTR, _, _) -> ());
+        loop ()
+  in
+  loop ();
+  let summary =
+    Adprom_obs.Trace.with_span "daemon.drain" (fun () -> Daemon.drain daemon)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let alerts = Daemon.alerts daemon in
+  let node_summary =
+    {
+      Frame.node = name;
+      summary;
+      incidents =
+        List.map
+          (fun (i : Alerts.incident) ->
+            (i.Alerts.session, Alerts.source_to_string i.Alerts.source))
+          (Alerts.incidents alerts);
+      fused =
+        List.map
+          (fun (r : Daemon.session_report) ->
+            (r.Daemon.session, Alerts.fused_axes alerts ~session:r.Daemon.session))
+          summary.Daemon.sessions;
+    }
+  in
+  (match !stop with
+  | Some c -> (
+      (match c.codec with
+      | Bin (_, enc) -> (
+          try reply enc c (Frame.Summary node_summary)
+          with Unix.Unix_error _ -> ())
+      | Txt _ | Undecided _ -> ());
+      close_conn c)
+  | None -> ());
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  {
+    Replay.summary;
+    seconds;
+    metrics;
+    alerts;
+    events_tail = Daemon.recent_events daemon;
+  }

@@ -1,0 +1,52 @@
+(** A TCP front door for one monitoring daemon — the `adprom serve
+    --listen` node of a cluster.
+
+    One single-threaded [select] loop accepts connections and feeds
+    their bytes to the daemon's (single-acceptor) ingest path; scoring
+    still happens on the daemon's own worker domains. Each connection
+    autodetects its wire format from the first two bytes ({!Frame.magic}
+    → binary frames, anything else → the {!Transport.Text} line format),
+    so `nc` with a text record file and the binary {!Cluster.Router} both
+    work against the same port.
+
+    Binary connections speak the full {!Frame} protocol: [Hello] is
+    answered with the node's version and name, [Call]/[Query] frames are
+    ingested (with an [Ack] sent back every {!ack_interval} accepted
+    items as flow feedback), [Metrics_req] is answered with the node's
+    {!Metrics.dump}, and [Bye] ends the serve loop — the daemon drains
+    and the node replies with its [Summary] frame on that connection.
+    Text connections can only stream items; they end at EOF.
+
+    A connection that sends undecodable bytes is closed and counted in
+    [adprom_wire_decode_errors_total]; the node keeps serving. *)
+
+val ack_interval : int
+(** Items between two [Ack] frames on a binary connection (4096). *)
+
+val bind : ?backlog:int -> ?host:string -> int -> Unix.file_descr * int
+(** Bind and listen on [host:port] ([host] defaults to 127.0.0.1); port
+    0 picks an ephemeral port, and the actual port is returned. The
+    caller owns the socket and passes it to {!serve} — binding
+    separately is what lets a test bind port 0 {e before} forking the
+    node, so the parent knows the port without a rendezvous. *)
+
+val serve :
+  socket:Unix.file_descr ->
+  ?name:string ->
+  ?shards:int ->
+  ?queue_capacity:int ->
+  ?keep_verdicts:bool ->
+  ?metrics:Metrics.t ->
+  ?alerts:Alerts.t ->
+  ?vet_against:Analysis.Analyzer.t ->
+  ?vet_policy:Adprom.Profile_check.policy ->
+  ?static_gate:Daemon.gate_mode ->
+  ?qsig_mode:Daemon.qsig_mode ->
+  ?qsig_profile:Adprom_qsig.Profile.t ->
+  Adprom.Profile.t ->
+  Replay.outcome
+(** Create the daemon (options as {!Daemon.create}), serve [socket]
+    until a [Bye] frame arrives, then drain and return the node's
+    outcome — the same shape {!Replay.run} yields, so the CLI prints
+    both identically. [name] (default ["node"]) is what the node calls
+    itself in [Hello] and [Summary] frames. *)
