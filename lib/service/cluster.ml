@@ -258,6 +258,9 @@ module Router = struct
     go ()
 
   let connect ?replicas ?(attempts = 10) ?(peer = "router") specs =
+    (* a node that dies mid-stream must surface as EPIPE on the next
+       write — the reconnect path — not as a process-killing SIGPIPE *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match
       let names = List.map (fun s -> s.peer_name) specs in
       if List.length (List.sort_uniq compare names) <> List.length names then
@@ -272,29 +275,36 @@ module Router = struct
           chunk = Bytes.create 65536;
         }
       in
-      let peers =
-        List.map
-          (fun spec ->
-            let p =
-              {
-                spec;
-                fd = dial ~attempts spec;
-                enc = Frame.Encoder.create ();
-                dec = Frame.Decoder.create ();
-                inbox = [];
-                out = Buffer.create flush_threshold;
-                out_items = 0;
-                sent = 0;
-                acked = 0;
-                lost = 0;
-                reconnects = 0;
-              }
-            in
-            hello t p;
-            (spec.peer_name, p))
-          specs
-      in
-      { t with peers }
+      (* register each fd as soon as it is open, so a later dial or
+         handshake failure closes every earlier connection too *)
+      let opened = ref [] in
+      (try
+         List.iter
+           (fun spec ->
+             let p =
+               {
+                 spec;
+                 fd = dial ~attempts spec;
+                 enc = Frame.Encoder.create ();
+                 dec = Frame.Decoder.create ();
+                 inbox = [];
+                 out = Buffer.create flush_threshold;
+                 out_items = 0;
+                 sent = 0;
+                 acked = 0;
+                 lost = 0;
+                 reconnects = 0;
+               }
+             in
+             opened := (spec.peer_name, p) :: !opened;
+             hello t p)
+           specs
+       with e ->
+         List.iter
+           (fun (_, p) -> try Unix.close p.fd with Unix.Unix_error _ -> ())
+           !opened;
+         raise e);
+      { t with peers = List.rev !opened }
     with
     | t -> Ok t
     | exception Router_error e -> Error e
@@ -478,11 +488,22 @@ let spawn_local ~name f =
   flush stdout;
   flush stderr;
   match Unix.fork () with
-  | 0 ->
-      (try f socket with _ -> ());
-      Unix._exit 0
+  | 0 -> (
+      match f socket with
+      | () -> Unix._exit 0
+      | exception e ->
+          Printf.eprintf "adprom node %s: %s\n%!" name (Printexc.to_string e);
+          Unix._exit 1)
   | pid ->
       Unix.close socket;
       { name; pid; port }
 
-let wait_local l = ignore (Unix.waitpid [] l.pid)
+let wait_local l =
+  match snd (Unix.waitpid [] l.pid) with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n ->
+      failwith (Printf.sprintf "node %s exited with status %d" l.name n)
+  | Unix.WSIGNALED s ->
+      failwith (Printf.sprintf "node %s killed by signal %d" l.name s)
+  | Unix.WSTOPPED s ->
+      failwith (Printf.sprintf "node %s stopped by signal %d" l.name s)

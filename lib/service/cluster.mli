@@ -103,4 +103,8 @@ val spawn_local : name:string -> (Unix.file_descr -> unit) -> local
     closes its copy of the socket and returns the child's address. *)
 
 val wait_local : local -> unit
-(** Reap the node's process (blocking [waitpid]). *)
+(** Reap the node's process (blocking [waitpid]).
+    @raise Failure if the node exited non-zero or died on a signal — a
+    child that raised out of its serve closure prints the exception to
+    stderr and [_exit]s 1, so crashed nodes fail tests instead of
+    looking like clean exits. *)

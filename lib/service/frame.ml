@@ -195,7 +195,20 @@ let bytes c n =
 
 let str c = bytes c (varint c)
 
-let opt_int c = match varint c with 0 -> None | v -> Some (v - 1)
+(* A 9-byte varint can spill into the sign bit and decode to a negative
+   OCaml int. Fields that are counts or ids (everything but zigzagged
+   blocks) must reject those, or crafted binary input smuggles values
+   the encoder itself refuses — e.g. a negative row count skewing the
+   qsig bands. *)
+let nonneg c what =
+  let v = varint c in
+  if v < 0 then raise (Fail ("negative " ^ what)) else v
+
+let opt_int c =
+  match varint c with
+  | 0 -> None
+  | v when v > 0 -> Some (v - 1)
+  | _ -> raise (Fail "negative optional int")
 
 let bool c =
   match u8 c with
@@ -245,7 +258,7 @@ let read_list c f =
   let n = varint c in
   (* every element costs at least one byte, so the remaining payload
      bounds a well-formed length — rejects absurd counts up front *)
-  if n > c.cstop - c.p then raise (Fail "list length out of range")
+  if n < 0 || n > c.cstop - c.p then raise (Fail "list length out of range")
   else begin
     let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f c :: acc) in
     go n []
@@ -564,7 +577,9 @@ module Decoder = struct
   let strref d c =
     match varint c with
     | 0 -> intern_push d (str c)
-    | k when k - 1 < d.interned_len -> d.interned.(k - 1)
+    | k when k > 0 && k - 1 < d.interned_len -> d.interned.(k - 1)
+    (* a negative reference (9-byte varint into the sign bit) must land
+       here, not index the array with a negative offset *)
     | k -> raise (Fail (Printf.sprintf "string reference %d out of range" k))
 
   let symbol d c : Symbol.t =
@@ -587,16 +602,16 @@ module Decoder = struct
           let version = varint c in
           let peer = str c in
           Hello { version; peer }
-      | 1 -> Ack { count = varint c }
+      | 1 -> Ack { count = nonneg c "ack count" }
       | 2 ->
-          let session = varint c in
+          let session = nonneg c "session id" in
           let caller = strref d c in
           let block = zigzag c in
           let symbol = symbol d c in
           Call { Transport.session; event = { Runtime.Collector.caller; block; symbol } }
       | 3 ->
-          let q_session = varint c in
-          let rows = varint c in
+          let q_session = nonneg c "session id" in
+          let rows = nonneg c "row count" in
           let sql = str c in
           Query { Transport.q_session; rows; sql }
       | 4 -> Metrics_req
@@ -724,7 +739,7 @@ module Decoder = struct
                 c.cstop <- i + 8 + len;
                 if tag = 2 then
                   match
-                    let session = varint c in
+                    let session = nonneg c "session id" in
                     let caller = strref d c in
                     let block = zigzag c in
                     let symbol = symbol d c in
@@ -738,8 +753,8 @@ module Decoder = struct
                       Error (Bad_payload { frame = "call"; reason })
                 else if tag = 3 then
                   match
-                    let q_session = varint c in
-                    let rows = varint c in
+                    let q_session = nonneg c "session id" in
+                    let rows = nonneg c "row count" in
                     let sql = str c in
                     if c.p <> c.cstop then
                       raise_notrace (Fail "trailing bytes after payload");

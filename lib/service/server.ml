@@ -40,6 +40,9 @@ type conn = {
 let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
     ?metrics ?alerts ?vet_against ?vet_policy ?static_gate ?qsig_mode
     ?qsig_profile profile =
+  (* a reply to a client that already hung up must raise EPIPE (handled
+     per connection below), not deliver a process-killing SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let daemon =
     Daemon.create ?shards ?queue_capacity ?keep_verdicts ~metrics ?alerts
@@ -68,26 +71,34 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
     let out = Buffer.create 64 in
     Frame.Encoder.add enc out frame;
     Frame.Encoder.flush enc out;
-    write_all c.fd (Buffer.contents out)
+    (* with SIGPIPE ignored, a hung-up client surfaces here as EPIPE:
+       drop the connection, don't let the exception kill the loop *)
+    try write_all c.fd (Buffer.contents out)
+    with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> close_conn c
   in
   let handle_frame c enc (f : Frame.frame) =
-    Metrics.incr c_frames;
-    match f with
-    | Frame.Hello _ ->
-        reply enc c
-          (Frame.Hello { version = Frame.protocol_version; peer = name })
-    | Frame.Call ev ->
-        ignore (Daemon.ingest daemon ev);
-        c.ingested <- c.ingested + 1
-    | Frame.Query q ->
-        ignore (Daemon.ingest_query daemon q);
-        c.ingested <- c.ingested + 1
-    | Frame.Metrics_req -> reply enc c (Frame.Metrics_resp (Metrics.dump metrics))
-    | Frame.Bye -> stop := Some c
-    | Frame.Ack _ | Frame.Metrics_resp _ | Frame.Summary _ ->
-        (* replies have no business arriving at a server *)
-        Metrics.incr c_decode_err;
-        close_conn c
+    (* [close_conn] mid-chunk must silence the chunk's remaining frames:
+       the fd is closed, so a reply would raise EBADF past the loop *)
+    if List.memq c !conns then begin
+      Metrics.incr c_frames;
+      match f with
+      | Frame.Hello _ ->
+          reply enc c
+            (Frame.Hello { version = Frame.protocol_version; peer = name })
+      | Frame.Call ev ->
+          ignore (Daemon.ingest daemon ev);
+          c.ingested <- c.ingested + 1
+      | Frame.Query q ->
+          ignore (Daemon.ingest_query daemon q);
+          c.ingested <- c.ingested + 1
+      | Frame.Metrics_req ->
+          reply enc c (Frame.Metrics_resp (Metrics.dump metrics))
+      | Frame.Bye -> stop := Some c
+      | Frame.Ack _ | Frame.Metrics_resp _ | Frame.Summary _ ->
+          (* replies have no business arriving at a server *)
+          Metrics.incr c_decode_err;
+          close_conn c
+    end
   in
   let process c s =
     match c.codec with

@@ -324,6 +324,53 @@ let test_negative_rows_rejected () =
   | () -> Alcotest.fail "binary encoder accepted a negative row count"
   | exception Invalid_argument _ -> ()
 
+(* A 9-byte varint whose final byte spills into the sign bit decodes to
+   a negative OCaml int. The text parser and the binary encoder both
+   reject negative sessions/rows, so crafted binary frames must not be
+   the one path that smuggles them through to the daemon. *)
+let test_negative_varints_rejected () =
+  let neg_varint = "\x80\x80\x80\x80\x80\x80\x80\x80\x7f" in
+  let frame tag payload =
+    let len = String.length payload in
+    Printf.sprintf "%s\x01%c%c%c%c%c%s" Frame.magic (Char.chr tag)
+      (Char.chr (len lsr 24 land 0xff))
+      (Char.chr (len lsr 16 land 0xff))
+      (Char.chr (len lsr 8 land 0xff))
+      (Char.chr (len land 0xff))
+      payload
+  in
+  let check_frame_rejected what bytes =
+    match Frame.Decoder.feed (Frame.Decoder.create ()) bytes with
+    | Ok _ -> Alcotest.failf "%s accepted by the frame decoder" what
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s rejected as malformed" what)
+          true
+          (match e with Frame.Bad_payload _ -> true | _ -> false)
+  in
+  let check_items_rejected what bytes =
+    match Transport.decode_all (module Frame.T) bytes with
+    | Ok _ -> Alcotest.failf "%s accepted by the item decoder" what
+    | Error _ -> ()
+  in
+  (* query: negative rows, negative session *)
+  let q_neg_rows = frame 3 ("\x01" ^ neg_varint ^ "\x00") in
+  let q_neg_session = frame 3 (neg_varint ^ "\x00\x00") in
+  (* call: negative session (strref defines caller "m" inline, block 0,
+     symbol entry), and a negative string reference *)
+  let call_neg_session = frame 2 (neg_varint ^ "\x00\x01m\x00\x00") in
+  let call_neg_strref = frame 2 ("\x01" ^ neg_varint ^ "\x00\x00") in
+  let ack_neg_count = frame 1 neg_varint in
+  check_frame_rejected "negative row count" q_neg_rows;
+  check_frame_rejected "negative query session" q_neg_session;
+  check_frame_rejected "negative call session" call_neg_session;
+  check_frame_rejected "negative string reference" call_neg_strref;
+  check_frame_rejected "negative ack count" ack_neg_count;
+  check_items_rejected "negative row count" q_neg_rows;
+  check_items_rejected "negative query session" q_neg_session;
+  check_items_rejected "negative call session" call_neg_session;
+  check_items_rejected "negative string reference" call_neg_strref
+
 let test_text_chunked_feed () =
   let text = "1\tmain\t3\tlib:read:-:-\nq\t1\t2\tSELECT name FROM t\n2\tmain\t1\tentry\n" in
   let whole =
@@ -590,6 +637,8 @@ let () =
       ( "transport",
         [
           Alcotest.test_case "negative row counts rejected" `Quick test_negative_rows_rejected;
+          Alcotest.test_case "negative binary varints rejected" `Quick
+            test_negative_varints_rejected;
           Alcotest.test_case "text byte-at-a-time feed" `Quick test_text_chunked_feed;
         ] );
       ( "ring",
