@@ -255,7 +255,55 @@ let scaling profile stream =
     offered scale;
   (accepted_rate one one_s, accepted_rate two two_s, scale)
 
-(* --- verdict integrity under ample capacity ------------------------------ *)
+(* --- observability overhead ---------------------------------------------- *)
+
+let http_get ~port target =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let b =
+        Bytes.of_string
+          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" target)
+      in
+      let rec write pos =
+        if pos < Bytes.length b then
+          write (pos + Unix.write fd b pos (Bytes.length b - pos))
+      in
+      write 0;
+      let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+      let rec read () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            read ()
+      in
+      read ();
+      Buffer.contents buf)
+
+(* a forked 1 Hz Prometheus scraper: what a real deployment aims at the
+   nodes' /metrics + /healthz endpoints while they ingest *)
+let spawn_scraper ports =
+  match Unix.fork () with
+  | 0 ->
+      (try
+         while true do
+           List.iter
+             (fun port ->
+               List.iter
+                 (fun target ->
+                   match http_get ~port target with
+                   | _ -> ()
+                   | exception _ -> ())
+                 [ "/metrics"; "/healthz" ])
+             ports;
+           Unix.sleepf 1.0
+         done
+       with _ -> ());
+      Unix._exit 0
+  | pid -> pid
 
 let verdict_key (v : Adprom.Detector.verdict) =
   ( v.Adprom.Detector.flag,
@@ -271,6 +319,97 @@ let session_key (r : Daemon.session_report) =
     List.map verdict_key r.Daemon.verdicts,
     r.Daemon.qsig_checks,
     r.Daemon.qsig_anomalies )
+
+(* [observability] prices the whole operations plane at once: the
+   router propagates Trace_marks (so every node materializes wire
+   spans) while a forked scraper hits both nodes' HTTP endpoints at
+   1 Hz, and the instrumented ingest rate is compared to a bare run.
+   Ample queue capacity keeps both configurations shed-free, so the
+   instrumented verdicts must also be bit-for-bit the bare run's —
+   observation must never change what the detector says. *)
+let observability profile stream =
+  Common.heading
+    "Observability overhead: trace propagation + 1 Hz HTTP scraper vs bare";
+  let ample = 1 lsl 20 in
+  (* tile the stream to a >= 100k-event burst: a sub-10ms ingest window
+     would price one scrape against the whole run and report noise, not
+     overhead (tiling extends every session, which is fine — both
+     configurations replay the identical stream) *)
+  let stream =
+    let tiles =
+      max 1 ((100_000 + Array.length stream - 1) / Array.length stream)
+    in
+    Array.concat (List.init tiles (fun _ -> stream))
+  in
+  let burst ~observed () =
+    let nodes =
+      List.map
+        (fun name ->
+          Cluster.spawn_local ~name (fun socket ->
+              ignore
+                (Server.serve ~socket ~name ~shards:1 ~queue_capacity:ample
+                   profile)))
+        [ "alpha"; "beta" ]
+    in
+    let scraper =
+      if observed then
+        Some
+          (spawn_scraper
+             (List.map (fun (l : Cluster.local) -> l.Cluster.port) nodes))
+      else None
+    in
+    if observed then Adprom_obs.Trace.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Adprom_obs.Trace.set_enabled false;
+        Adprom_obs.Trace.clear ();
+        match scraper with
+        | None -> ()
+        | Some pid -> (
+            try
+              Unix.kill pid Sys.sigterm;
+              ignore (Unix.waitpid [] pid)
+            with Unix.Unix_error _ -> ()))
+      (fun () -> route_burst nodes stream)
+  in
+  let median f =
+    let runs = List.init 3 (fun _ -> f ()) in
+    match List.sort (fun (_, a) (_, b) -> compare a b) runs with
+    | [ _; mid; _ ] -> mid
+    | _ -> assert false
+  in
+  let bare, bare_s = median (burst ~observed:false) in
+  let obs, obs_s = median (burst ~observed:true) in
+  if
+    List.map session_key bare.Frame.summary.Daemon.sessions
+    <> List.map session_key obs.Frame.summary.Daemon.sessions
+  then failwith "observability changed the verdicts";
+  let bare_rate = accepted_rate bare bare_s
+  and obs_rate = accepted_rate obs obs_s in
+  let overhead = (bare_rate -. obs_rate) /. bare_rate in
+  Adprom.Report.print
+    ~header:[ "configuration"; "ingested"; "events/sec"; "overhead" ]
+    [
+      [
+        "bare";
+        Printf.sprintf "%d" bare.Frame.summary.Daemon.events_ingested;
+        Printf.sprintf "%.0f" bare_rate;
+        "-";
+      ];
+      [
+        "traced + scraped";
+        Printf.sprintf "%d" obs.Frame.summary.Daemon.events_ingested;
+        Printf.sprintf "%.0f" obs_rate;
+        Printf.sprintf "%.1f%%" (100. *. overhead);
+      ];
+    ];
+  Printf.printf
+    "%d events per burst; verdicts bit-for-bit identical under observation; \
+     bar: overhead <= 3%%\n"
+    (Array.length stream);
+  (bare_rate, obs_rate, overhead)
+
+(* --- verdict integrity under ample capacity ------------------------------ *)
 
 let integrity profile stream =
   Common.heading "Verdict integrity: merged 2-node summary vs single-node replay";
@@ -314,6 +453,9 @@ let run () =
     codec_showdown stream
   in
   let one_rate, two_rate, scale = scaling profile stream in
+  (* observability before integrity: integrity's reference replay spawns
+     domains in this process, after which forking nodes is unsafe *)
+  let bare_rate, obs_rate, overhead = observability profile stream in
   let bit_for_bit = integrity profile stream in
   let oc = open_out "BENCH_cluster.json" in
   Printf.fprintf oc
@@ -327,9 +469,13 @@ let run () =
     \  \"events_per_sec_1node\": %.1f,\n\
     \  \"events_per_sec_2node\": %.1f,\n\
     \  \"cluster_scale_factor\": %.2f,\n\
+    \  \"events_per_sec_bare\": %.1f,\n\
+    \  \"events_per_sec_observed\": %.1f,\n\
+    \  \"observability_overhead_frac\": %.4f,\n\
+    \  \"observability_overhead_ok\": %b,\n\
     \  \"verdicts_bit_for_bit\": %b\n\
      }\n"
     !Common.smoke text_rate bin_rate codec_speedup text_bpi bin_bpi one_rate
-    two_rate scale bit_for_bit;
+    two_rate scale bare_rate obs_rate overhead (overhead <= 0.03) bit_for_bit;
   close_out oc;
   Printf.printf "wrote BENCH_cluster.json\n"

@@ -500,12 +500,34 @@ let log_level_arg =
           "Emit structured events at LEVEL and above (debug|info|warn|error) as JSONL \
            on stderr. Without this flag the log sink stays off.")
 
-let obs_setup log_level trace_out =
-  (match log_level with
-  | None -> ()
-  | Some lvl ->
-      Adprom_obs.Log.set_threshold lvl;
-      Adprom_obs.Log.set_sink Adprom_obs.Log.Stderr);
+let log_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-file" ] ~docv:"FILE"
+        ~doc:
+          "Append structured JSONL events to FILE instead of stderr (implies \
+           $(b,--log-level) info unless given).")
+
+let log_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "log-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Rotate the $(b,--log-file) sink: when the next line would push the file \
+           past BYTES it is renamed to FILE.1 (replacing any previous generation) \
+           and a fresh FILE is started, bounding disk use at roughly twice BYTES.")
+
+let obs_setup ?log_file ?log_max_bytes log_level trace_out =
+  (match (log_level, log_file) with
+  | None, None -> ()
+  | lvl, file -> (
+      Adprom_obs.Log.set_threshold
+        (Option.value ~default:Adprom_obs.Log.Info lvl);
+      match file with
+      | Some path -> Adprom_obs.Log.to_file ?max_bytes:log_max_bytes path
+      | None -> Adprom_obs.Log.set_sink Adprom_obs.Log.Stderr));
   if trace_out <> None then Adprom_obs.Trace.set_enabled true
 
 let obs_finish trace_out =
@@ -781,8 +803,10 @@ let replay_cmd =
        $ log_tail_arg $ trace_out_arg))
 
 let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
-    listen node_name log_level log_tail trace_out =
-  obs_setup log_level trace_out;
+    listen node_name log_level log_file log_max_bytes log_tail trace_out =
+  match obs_setup ?log_file ?log_max_bytes log_level trace_out with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | () -> (
   match List.assoc_opt app_name (builtin_apps ()) with
   | None -> `Error (false, Printf.sprintf "unknown app %S; try `adprom list-apps`" app_name)
   | Some app when listen <> None -> (
@@ -900,7 +924,7 @@ let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
       | outcome ->
           print_outcome ~labels ~log_tail outcome;
           obs_finish trace_out;
-          `Ok ()
+          `Ok ())
 
 let listen_arg =
   Arg.(
@@ -931,11 +955,13 @@ let serve_cmd =
       ret
         (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
        $ vet_policy_arg $ static_gate_arg $ qsig_mode_arg $ listen_arg
-       $ node_name_arg $ log_level_arg $ log_tail_arg $ trace_out_arg))
+       $ node_name_arg $ log_level_arg $ log_file_arg $ log_max_bytes_arg
+       $ log_tail_arg $ trace_out_arg))
 
 (* --- route: spray a recorded stream across serve nodes ----------------- *)
 
-let route_cmd_run events_path node_specs replicas =
+let route_cmd_run events_path node_specs replicas trace_out =
+  obs_setup None trace_out;
   let data = read_file events_path in
   match decode_any data with
   | Error msg -> `Error (false, Printf.sprintf "cannot load events: %s" msg)
@@ -960,6 +986,22 @@ let route_cmd_run events_path node_specs replicas =
               | Ok () -> (
                   (* aggregate metrics while the connections are still up *)
                   let dump = Service.Cluster.Router.metrics router in
+                  (* span collection needs live connections too: refine the
+                     clock offsets, then pull each node's spans *)
+                  let node_spans =
+                    if trace_out = None then []
+                    else begin
+                      (match Service.Cluster.Router.clock_sync router with
+                      | Ok () -> ()
+                      | Error e ->
+                          Printf.eprintf "(clock sync failed: %s)\n" e);
+                      match Service.Cluster.Router.spans router with
+                      | Ok groups -> groups
+                      | Error e ->
+                          Printf.eprintf "(span collection failed: %s)\n" e;
+                          []
+                    end
+                  in
                   match Service.Cluster.Router.finish router with
                   | Error e -> `Error (false, Printf.sprintf "shutdown failed: %s" e)
                   | Ok summaries ->
@@ -997,6 +1039,19 @@ let route_cmd_run events_path node_specs replicas =
                            merged.Service.Frame.summary.Service.Daemon.events_ingested
                         /. seconds)
                         seconds (List.length summaries);
+                      (match trace_out with
+                      | None -> ()
+                      | Some path ->
+                          let groups =
+                            ("router", 0L, Adprom_obs.Trace.spans ())
+                            :: node_spans
+                          in
+                          Adprom_obs.Trace.dump_chrome_cluster path groups;
+                          Printf.printf "%d spans across %d processes -> %s\n"
+                            (List.fold_left
+                               (fun acc (_, _, ss) -> acc + List.length ss)
+                               0 groups)
+                            (List.length groups) path);
                       `Ok ()))))
 
 let route_events_arg =
@@ -1026,8 +1081,310 @@ let route_cmd =
          "Spray a recorded stream across serve nodes by consistent session \
           hashing, then print the merged cluster summary, incident log and \
           aggregated metrics. Session-sticky routing keeps cluster verdicts \
-          bit-for-bit equal to a single-node replay of the same stream.")
-    Term.(ret (const route_cmd_run $ route_events_arg $ route_nodes_arg $ route_replicas_arg))
+          bit-for-bit equal to a single-node replay of the same stream. With \
+          $(b,--trace-out), collects every node's spans, aligns them on the \
+          router's clock via min-RTT probes and writes one merged Chrome trace.")
+    Term.(
+      ret
+        (const route_cmd_run $ route_events_arg $ route_nodes_arg
+       $ route_replicas_arg $ trace_out_arg))
+
+(* --- status / top: the fleet operations plane -------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* quantiles as JSON: [nan] (no observations yet) -> null, overflow
+   bucket -> the string "+Inf" *)
+let jq_float f =
+  if Float.is_nan f then "null"
+  else if f = infinity then "\"+Inf\""
+  else Printf.sprintf "%g" f
+
+let fq_float f =
+  if Float.is_nan f then "-" else if f = infinity then ">1s" else Printf.sprintf "%.4fs" f
+
+let snapshot_queue (s : Service.Metrics.snapshot) =
+  let prefix = "adprom_queue_depth_shard" in
+  let plen = String.length prefix in
+  List.fold_left
+    (fun (depth, hwm) (name, v, m) ->
+      if String.length name >= plen && String.sub name 0 plen = prefix then
+        (depth + v, max hwm m)
+      else (depth, hwm))
+    (0, 0) s.Service.Metrics.gauges
+
+let snapshot_e2e (s : Service.Metrics.snapshot) =
+  match Service.Metrics.snapshot_histogram s "adprom_e2e_latency_seconds" with
+  | None -> (Float.nan, Float.nan)
+  | Some h ->
+      (Service.Metrics.hist_quantile h 0.5, Service.Metrics.hist_quantile h 0.99)
+
+type node_stats = {
+  ns_name : string;
+  ns_status : Service.Health.status;
+  ns_uptime : float;
+  ns_offered : int;
+  ns_dropped : int;
+  ns_depth : int;
+  ns_hwm : int;
+  ns_p50 : float;
+  ns_p99 : float;
+  ns_incidents : (int * string) list;
+}
+
+let node_stats (name, (h : Service.Frame.health)) =
+  let s = h.Service.Frame.h_snapshot in
+  let depth, hwm = snapshot_queue s in
+  let p50, p99 = snapshot_e2e s in
+  {
+    ns_name = name;
+    ns_status = h.Service.Frame.h_status;
+    ns_uptime = h.Service.Frame.h_uptime_s;
+    ns_offered = Service.Metrics.snapshot_counter s "adprom_events_offered_total";
+    ns_dropped = Service.Metrics.snapshot_counter s "adprom_events_dropped_total";
+    ns_depth = depth;
+    ns_hwm = hwm;
+    ns_p50 = p50;
+    ns_p99 = p99;
+    ns_incidents = h.Service.Frame.h_incidents;
+  }
+
+let fleet_stats (nodes : (string * Service.Frame.health) list) =
+  let merged =
+    Service.Metrics.merge_snapshots
+      (List.map (fun (_, h) -> h.Service.Frame.h_snapshot) nodes)
+  in
+  let status =
+    List.fold_left
+      (fun acc (_, h) -> Service.Health.worst acc h.Service.Frame.h_status)
+      Service.Health.Healthy nodes
+  in
+  (status, merged)
+
+let connect_fleet node_specs replicas =
+  let peers, bad =
+    List.partition_map
+      (fun s ->
+        match Service.Cluster.peer_of_string s with
+        | Ok p -> Left p
+        | Error e -> Right e)
+      node_specs
+  in
+  match bad with
+  | e :: _ -> Error e
+  | [] -> (
+      match Service.Cluster.Router.connect ~replicas peers with
+      | Error e -> Error (Printf.sprintf "cannot connect: %s" e)
+      | Ok router -> Ok router)
+
+let status_json nodes =
+  let stats = List.map node_stats nodes in
+  let status, merged = fleet_stats nodes in
+  let depth, hwm = snapshot_queue merged in
+  let p50, p99 = snapshot_e2e merged in
+  let node_json n =
+    Printf.sprintf
+      "{\"node\":\"%s\",\"status\":\"%s\",\"uptime_s\":%.1f,\
+       \"events_offered\":%d,\"events_dropped\":%d,\"queue_depth\":%d,\
+       \"queue_hwm\":%d,\"e2e_p50_s\":%s,\"e2e_p99_s\":%s,\"incidents\":%d}"
+      (json_escape n.ns_name)
+      (Service.Health.status_to_string n.ns_status)
+      n.ns_uptime n.ns_offered n.ns_dropped n.ns_depth n.ns_hwm
+      (jq_float n.ns_p50) (jq_float n.ns_p99)
+      (List.length n.ns_incidents)
+  in
+  Printf.sprintf
+    "{\"fleet\":{\"status\":\"%s\",\"nodes\":%d,\"events_offered\":%d,\
+     \"events_dropped\":%d,\"queue_depth\":%d,\"queue_hwm\":%d,\
+     \"e2e_p50_s\":%s,\"e2e_p99_s\":%s},\"nodes\":[%s]}"
+    (Service.Health.status_to_string status)
+    (List.length nodes)
+    (Service.Metrics.snapshot_counter merged "adprom_events_offered_total")
+    (Service.Metrics.snapshot_counter merged "adprom_events_dropped_total")
+    depth hwm (jq_float p50) (jq_float p99)
+    (String.concat "," (List.map node_json stats))
+
+let status_text nodes =
+  let stats = List.map node_stats nodes in
+  let status, merged = fleet_stats nodes in
+  let depth, _ = snapshot_queue merged in
+  let p50, p99 = snapshot_e2e merged in
+  Adprom.Report.print
+    ~header:
+      [ "node"; "status"; "uptime"; "events"; "dropped"; "queue"; "e2e p50"; "e2e p99" ]
+    (List.map
+       (fun n ->
+         [
+           n.ns_name;
+           Service.Health.status_to_string n.ns_status;
+           Printf.sprintf "%.0fs" n.ns_uptime;
+           string_of_int n.ns_offered;
+           string_of_int n.ns_dropped;
+           string_of_int n.ns_depth;
+           fq_float n.ns_p50;
+           fq_float n.ns_p99;
+         ])
+       stats);
+  Printf.printf "\nfleet: %s (%d nodes), %d events offered, %d dropped, queue %d, e2e p50 %s p99 %s\n"
+    (Service.Health.status_to_string status)
+    (List.length nodes)
+    (Service.Metrics.snapshot_counter merged "adprom_events_offered_total")
+    (Service.Metrics.snapshot_counter merged "adprom_events_dropped_total")
+    depth (fq_float p50) (fq_float p99)
+
+let status_cmd_run node_specs replicas format =
+  match connect_fleet node_specs replicas with
+  | Error e -> `Error (false, e)
+  | Ok router -> (
+      let result = Service.Cluster.Router.health router in
+      Service.Cluster.Router.close router;
+      match result with
+      | Error e -> `Error (false, e)
+      | Ok [] ->
+          `Error
+            (false, "no node answered a health scrape (all peers are pre-v2?)")
+      | Ok nodes ->
+          (match format with
+          | `Json -> print_endline (status_json nodes)
+          | `Text -> status_text nodes);
+          `Ok ())
+
+let fleet_nodes_arg =
+  Arg.(
+    non_empty
+    & opt_all string []
+    & info [ "node" ] ~docv:"[NAME=]HOST:PORT"
+        ~doc:"A serve node to scrape (repeatable; see `adprom serve --listen`).")
+
+let status_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "One-shot fleet health: scrape every node over the binary wire \
+          (Health_req), print per-node status, throughput counters, queue \
+          depth and end-to-end latency quantiles, and the fleet rollup — \
+          counters summed, statuses folded to the worst, quantiles computed \
+          from the merged histogram buckets. The nodes keep serving.")
+    Term.(ret (const status_cmd_run $ fleet_nodes_arg $ route_replicas_arg $ status_format_arg))
+
+(* --- top: live fleet dashboard ----------------------------------------- *)
+
+let top_render ~interval ~prev nodes =
+  let stats = List.map node_stats nodes in
+  let status, merged = fleet_stats nodes in
+  let depth, _ = snapshot_queue merged in
+  let p50, p99 = snapshot_e2e merged in
+  (* home + clear-to-end: repaint without scrollback spam *)
+  print_string "\027[H\027[J";
+  Printf.printf "adprom top — %d nodes, fleet %s, e2e p50 %s p99 %s, queue %d\n\n"
+    (List.length stats)
+    (Service.Health.status_to_string status)
+    (fq_float p50) (fq_float p99) depth;
+  Printf.printf "%-12s %-10s %10s %10s %8s %8s %10s %10s\n" "node" "status"
+    "events/s" "events" "dropped" "queue" "e2e p50" "e2e p99";
+  List.iter
+    (fun n ->
+      let rate =
+        match Hashtbl.find_opt prev n.ns_name with
+        | Some last when interval > 0.0 ->
+            Printf.sprintf "%.0f" (float_of_int (n.ns_offered - last) /. interval)
+        | _ -> "-"
+      in
+      Hashtbl.replace prev n.ns_name n.ns_offered;
+      Printf.printf "%-12s %-10s %10s %10d %8d %8d %10s %10s\n" n.ns_name
+        (Service.Health.status_to_string n.ns_status)
+        rate n.ns_offered n.ns_dropped n.ns_depth
+        (fq_float n.ns_p50) (fq_float n.ns_p99))
+    stats;
+  (* incident ticker: the newest few across the fleet *)
+  let incidents =
+    List.concat_map
+      (fun n -> List.map (fun (s, text) -> (n.ns_name, s, text)) n.ns_incidents)
+      stats
+  in
+  let len = List.length incidents in
+  let tail = List.filteri (fun i _ -> i >= len - 5) incidents in
+  Printf.printf "\n--- incidents (%d total, newest last) ---\n" len;
+  if tail = [] then print_endline "(none)"
+  else
+    List.iter
+      (fun (node, session, text) ->
+        Printf.printf "%-12s session %d: %s\n" node session text)
+      tail;
+  flush stdout
+
+let top_cmd_run node_specs replicas interval iterations =
+  if interval <= 0.0 then `Error (false, "--interval must be positive")
+  else
+    match connect_fleet node_specs replicas with
+    | Error e -> `Error (false, e)
+    | Ok router ->
+        let prev = Hashtbl.create 8 in
+        let rec loop i =
+          match Service.Cluster.Router.health router with
+          | Error e ->
+              Service.Cluster.Router.close router;
+              `Error (false, e)
+          | Ok [] ->
+              Service.Cluster.Router.close router;
+              `Error
+                (false, "no node answered a health scrape (all peers are pre-v2?)")
+          | Ok nodes ->
+              top_render ~interval ~prev nodes;
+              if iterations > 0 && i >= iterations then begin
+                Service.Cluster.Router.close router;
+                `Ok ()
+              end
+              else begin
+                Unix.sleepf interval;
+                loop (i + 1)
+              end
+        in
+        loop 1
+
+let top_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between refreshes.")
+
+let top_iterations_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Stop after N refreshes (0 = run until interrupted).")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live fleet dashboard: scrape every node's health each interval and \
+          repaint per-node event rate, end-to-end latency quantiles, queue \
+          depth, drop counts and an incident ticker. The nodes keep serving; \
+          interrupt (or $(b,--iterations)) to stop.")
+    Term.(
+      ret
+        (const top_cmd_run $ fleet_nodes_arg $ route_replicas_arg
+       $ top_interval_arg $ top_iterations_arg))
 
 (* --- automaton --------------------------------------------------------- *)
 
@@ -1391,6 +1748,8 @@ let () =
             replay_cmd;
             serve_cmd;
             route_cmd;
+            status_cmd;
+            top_cmd;
             qsig_cmd;
             automaton_cmd;
             explain_cmd;

@@ -67,18 +67,49 @@ type sink =
   | Stderr
   | Channel of out_channel
 
+(* Internally a file sink keeps its path and byte budget so the writer
+   can roll it over; the public [sink] type stays channel-shaped. *)
+type isink =
+  | INull
+  | IStderr
+  | IChannel of out_channel
+  | IFile of {
+      path : string;
+      max_bytes : int;
+      mutable oc : out_channel;
+      mutable written : int;
+    }
+
 (* The threshold is read on the hot path without the mutex: a stale
    read drops or keeps a borderline event, never corrupts anything. *)
 let threshold_ref = Atomic.make (level_index Info)
 let sink_mutex = Mutex.create ()
-let sink_ref = ref Null
+let sink_ref = ref INull
 
-let set_sink s =
+let set_isink s =
   Mutex.lock sink_mutex;
   sink_ref := s;
   Mutex.unlock sink_mutex
 
-let to_file path = set_sink (Channel (open_out_gen [ Open_append; Open_creat ] 0o644 path))
+let set_sink = function
+  | Null -> set_isink INull
+  | Stderr -> set_isink IStderr
+  | Channel oc -> set_isink (IChannel oc)
+
+let open_append path = open_out_gen [ Open_append; Open_creat ] 0o644 path
+
+let to_file ?max_bytes path =
+  match max_bytes with
+  | None -> set_isink (IChannel (open_append path))
+  | Some max_bytes ->
+      if max_bytes <= 0 then invalid_arg "Log.to_file: max_bytes must be > 0";
+      let oc = open_append path in
+      let written =
+        match (Unix.fstat (Unix.descr_of_out_channel oc)).Unix.st_size with
+        | n -> n
+        | exception Unix.Unix_error _ -> 0
+      in
+      set_isink (IFile { path; max_bytes; oc; written })
 
 let set_threshold l = Atomic.set threshold_ref (level_index l)
 
@@ -91,18 +122,31 @@ let threshold () =
 
 let enabled l = level_index l >= Atomic.get threshold_ref
 
+let write_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
 let write_sink e =
   Mutex.lock sink_mutex;
   (match !sink_ref with
-  | Null -> ()
-  | Stderr ->
-      output_string stderr (event_to_json e);
-      output_char stderr '\n';
-      flush stderr
-  | Channel oc ->
-      output_string oc (event_to_json e);
-      output_char oc '\n';
-      flush oc);
+  | INull -> ()
+  | IStderr -> write_line stderr (event_to_json e)
+  | IChannel oc -> write_line oc (event_to_json e)
+  | IFile f ->
+      let line = event_to_json e in
+      let len = String.length line + 1 in
+      (* Roll over before the write that would burst the budget: one
+         [.1] generation, so disk use is bounded by ~2x max_bytes. An
+         event larger than the whole budget still goes out whole. *)
+      if f.written > 0 && f.written + len > f.max_bytes then begin
+        (try close_out f.oc with Sys_error _ -> ());
+        (try Sys.rename f.path (f.path ^ ".1") with Sys_error _ -> ());
+        f.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 f.path;
+        f.written <- 0
+      end;
+      write_line f.oc line;
+      f.written <- f.written + len);
   Mutex.unlock sink_mutex
 
 let emit ?ring ?(fields = []) level ~scope message =

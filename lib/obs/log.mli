@@ -52,8 +52,15 @@ val set_sink : sink -> unit
 (** Default [Null]. Setting a new sink never closes the old channel
     (the opener owns it). *)
 
-val to_file : string -> unit
-(** Open [path] for append and make it the sink. *)
+val to_file : ?max_bytes:int -> string -> unit
+(** Open [path] for append and make it the sink. With [max_bytes] the
+    sink rotates: when the next line would push the file past the
+    budget, the file is renamed to [path ^ ".1"] (replacing any
+    previous generation) and a fresh [path] is started — so on-disk
+    use stays bounded by roughly twice [max_bytes] and recent history
+    survives the rollover. Rotation happens under the sink mutex, so
+    concurrent emitters never interleave across generations.
+    @raise Invalid_argument when [max_bytes <= 0]. *)
 
 val set_threshold : level -> unit
 (** Drop events below this level (default [Info]). *)

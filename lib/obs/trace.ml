@@ -83,6 +83,27 @@ let record sp =
     (fun (id, f) -> try f sp with _ -> remove_hook id)
     hs
 
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+let record_span ?(attrs = []) ?trace_id ~name ~start_ns ~dur_ns () =
+  (* deliberately NOT gated on the enabled flag: externally-timed spans
+     only exist because some process already decided to trace (a router
+     propagating a Trace_mark), and that decision must not require every
+     node to flip its own switch. The buffer stays bounded either way. *)
+  let span_id = fresh_id () in
+  let trace_id = match trace_id with Some t -> t | None -> span_id in
+  record
+    {
+      name;
+      trace_id;
+      span_id;
+      parent = None;
+      domain = (Domain.self () :> int);
+      start_ns;
+      dur_ns;
+      attrs;
+    }
+
 let with_span ?attrs name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
@@ -127,6 +148,35 @@ let with_span ?attrs name f =
 
 (* --- Chrome trace_event export ----------------------------------------- *)
 
+let us ns = Int64.to_float ns /. 1e3
+
+let span_event ~pid ~epoch sp =
+  let args =
+    [
+      ("trace_id", Json.string (string_of_int sp.trace_id));
+      ("span_id", Json.string (string_of_int sp.span_id));
+    ]
+    @ (match sp.parent with
+      | Some p -> [ ("parent", Json.string (string_of_int p)) ]
+      | None -> [])
+    @ List.map (fun (k, v) -> (k, Json.string v)) sp.attrs
+  in
+  Json.obj
+    [
+      ("name", Json.string sp.name);
+      ("cat", Json.string "adprom");
+      ("ph", Json.string "X");
+      ("pid", string_of_int pid);
+      ("tid", string_of_int sp.domain);
+      ("ts", Printf.sprintf "%.3f" (us (Int64.sub sp.start_ns epoch)));
+      ("dur", Printf.sprintf "%.3f" (us sp.dur_ns));
+      ("args", Json.obj args);
+    ]
+
+let render events =
+  "{\"traceEvents\":[\n" ^ String.concat ",\n" events
+  ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+
 let to_chrome_json spans =
   let epoch =
     List.fold_left
@@ -134,35 +184,55 @@ let to_chrome_json spans =
       (match spans with [] -> 0L | sp :: _ -> sp.start_ns)
       spans
   in
-  let us ns = Int64.to_float ns /. 1e3 in
-  let event sp =
-    let args =
-      [
-        ("trace_id", Json.string (string_of_int sp.trace_id));
-        ("span_id", Json.string (string_of_int sp.span_id));
-      ]
-      @ (match sp.parent with
-        | Some p -> [ ("parent", Json.string (string_of_int p)) ]
-        | None -> [])
-      @ List.map (fun (k, v) -> (k, Json.string v)) sp.attrs
-    in
-    Json.obj
-      [
-        ("name", Json.string sp.name);
-        ("cat", Json.string "adprom");
-        ("ph", Json.string "X");
-        ("pid", "1");
-        ("tid", string_of_int sp.domain);
-        ("ts", Printf.sprintf "%.3f" (us (Int64.sub sp.start_ns epoch)));
-        ("dur", Printf.sprintf "%.3f" (us sp.dur_ns));
-        ("args", Json.obj args);
-      ]
+  render (List.map (span_event ~pid:1 ~epoch) spans)
+
+let to_chrome_json_cluster groups =
+  (* Each group is one process's spans, timed by that process's own
+     monotonic clock; [offset_ns] maps it onto the reference clock
+     (local_ns - offset_ns = reference_ns, i.e. offset = local - ref,
+     what a min-RTT clock probe estimates). Aligning first and only
+     then picking the epoch keeps cross-process ordering. *)
+  let aligned =
+    List.map
+      (fun (name, offset_ns, spans) ->
+        ( name,
+          List.map
+            (fun sp -> { sp with start_ns = Int64.sub sp.start_ns offset_ns })
+            spans ))
+      groups
   in
-  "{\"traceEvents\":[\n"
-  ^ String.concat ",\n" (List.map event spans)
-  ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+  let epoch =
+    List.fold_left
+      (fun acc (_, spans) ->
+        List.fold_left
+          (fun acc sp -> if sp.start_ns < acc then sp.start_ns else acc)
+          acc spans)
+      Int64.max_int aligned
+  in
+  let epoch = if epoch = Int64.max_int then 0L else epoch in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (name, spans) ->
+           let pid = i + 1 in
+           Json.obj
+             [
+               ("name", Json.string "process_name");
+               ("ph", Json.string "M");
+               ("pid", string_of_int pid);
+               ("args", Json.obj [ ("name", Json.string name) ]);
+             ]
+           :: List.map (span_event ~pid ~epoch) spans)
+         aligned)
+  in
+  render events
 
 let dump_chrome path =
   let oc = open_out path in
   output_string oc (to_chrome_json (spans ()));
+  close_out oc
+
+let dump_chrome_cluster path groups =
+  let oc = open_out path in
+  output_string oc (to_chrome_json_cluster groups);
   close_out oc

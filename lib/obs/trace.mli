@@ -40,6 +40,28 @@ val with_span :
     span is recorded even when the thunk raises, and the exception is
     re-raised. *)
 
+val fresh_id : unit -> int
+(** Allocate the next span/trace id — for spans whose timing is
+    measured externally ({!record_span}) or propagated across
+    processes (the router stamps each batch with one). *)
+
+val record_span :
+  ?attrs:(string * string) list ->
+  ?trace_id:int ->
+  name:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  unit ->
+  unit
+(** Record an externally-timed span (no context-stack involvement, no
+    parent): what a cluster node uses to materialize the router→node
+    wire span from a batch's propagated trace id and send timestamp.
+    [trace_id] defaults to a fresh root id. Unlike {!with_span} this is
+    {e not} gated on {!enabled} — propagated trace context only arrives
+    because the sending process is already tracing, and the receiving
+    node must not need its own switch flipped to answer span
+    collection. *)
+
 val current_trace_id : unit -> int option
 (** The trace id of the innermost open span on this domain, if any —
     what log events and collector tags join traces on. *)
@@ -77,3 +99,16 @@ val to_chrome_json : span list -> string
 
 val dump_chrome : string -> unit
 (** Write [to_chrome_json (spans ())] to a file. *)
+
+val to_chrome_json_cluster : (string * int64 * span list) list -> string
+(** Merge several processes' spans onto one timeline. Each group is
+    [(process_name, offset_ns, spans)] where [offset_ns] maps that
+    process's monotonic clock onto the reference clock
+    ([local_ns - offset_ns = reference_ns] — the offset a min-RTT
+    clock probe estimates; use [0L] for the reference process itself).
+    Groups render as separate Chrome processes (a [process_name]
+    metadata event plus [pid] per group) against a shared epoch, so
+    router→node handoffs line up across nodes. *)
+
+val dump_chrome_cluster : string -> (string * int64 * span list) list -> unit
+(** Write [to_chrome_json_cluster groups] to a file. *)

@@ -112,6 +112,9 @@ module Router = struct
     mutable acked : int;
     mutable lost : int;
     mutable reconnects : int;
+    mutable version : int;  (* negotiated: min(ours, the node's hello) *)
+    mutable offset_ns : int64;  (* node_mono - router_mono estimate *)
+    mutable probe_seq : int;
   }
 
   type t = {
@@ -185,19 +188,36 @@ module Router = struct
 
   let hello t p =
     let out = Buffer.create 32 in
+    (* the initiating hello is sample-less, hence v1-shaped and
+       v1-stamped: an old node must be able to decode it. The payload's
+       version field still announces what we speak. *)
     Frame.Encoder.add p.enc out
-      (Frame.Hello { version = Frame.protocol_version; peer = t.me });
+      (Frame.Hello
+         { version = Frame.protocol_version; peer = t.me; sample = None });
     Frame.Encoder.flush p.enc out;
+    let t_send = Adprom_obs.Clock.monotonic_ns () in
     write_all p.fd (Buffer.contents out);
-    let version =
+    let version, sample =
       await t p ~what:"hello"
-        (function Frame.Hello { version; _ } -> Some version | _ -> None)
+        (function
+          | Frame.Hello { version; sample; _ } -> Some (version, sample)
+          | _ -> None)
     in
+    let t_recv = Adprom_obs.Clock.monotonic_ns () in
     if version < 1 then
       raise
         (Router_error
            (Printf.sprintf "%s: incompatible protocol version %d"
-              p.spec.peer_name version))
+              p.spec.peer_name version));
+    p.version <- min Frame.protocol_version version;
+    (* a v2 node samples its clocks into the hello reply: dating the
+       sample at the round-trip's midpoint gives a first offset
+       estimate, refined by {!clock_sync}'s min-RTT probes *)
+    match sample with
+    | Some (mono_ns, _wall_ns) ->
+        p.offset_ns <-
+          Int64.sub mono_ns (Int64.div (Int64.add t_send t_recv) 2L)
+    | None -> ()
 
   let reconnect t p =
     (* everything unflushed, plus everything flushed past the last Ack:
@@ -220,11 +240,39 @@ module Router = struct
   let flush t p =
     Frame.Encoder.flush p.enc p.out;
     if Buffer.length p.out > 0 then begin
+      let items = p.out_items in
+      (* Stamp the batch for cross-node tracing: the mark follows the
+         batch's bytes on the same connection, so the node's [wire.batch]
+         span runs from our send instant (mapped onto the node's clock
+         via [offset_ns]) to the moment the whole batch was ingested. *)
+      let mark =
+        if items > 0 && p.version >= 2 && Adprom_obs.Trace.enabled () then begin
+          let trace_id = Adprom_obs.Trace.fresh_id () in
+          let send_mono_ns = Adprom_obs.Clock.monotonic_ns () in
+          Frame.Encoder.add p.enc p.out
+            (Frame.Trace_mark
+               { trace_id; send_mono_ns; offset_ns = p.offset_ns });
+          Frame.Encoder.flush p.enc p.out;
+          Some (trace_id, send_mono_ns)
+        end
+        else None
+      in
       match write_all p.fd (Buffer.contents p.out) with
       | () ->
-          p.sent <- p.sent + p.out_items;
+          p.sent <- p.sent + items;
           Buffer.clear p.out;
-          p.out_items <- 0
+          p.out_items <- 0;
+          (match mark with
+          | Some (trace_id, send_mono_ns) ->
+              Adprom_obs.Trace.record_span ~trace_id ~name:"route.batch"
+                ~attrs:
+                  [ ("peer", p.spec.peer_name);
+                    ("items", string_of_int items) ]
+                ~start_ns:send_mono_ns
+                ~dur_ns:
+                  (Int64.sub (Adprom_obs.Clock.monotonic_ns ()) send_mono_ns)
+                ()
+          | None -> ())
       | exception Unix.Unix_error ((EPIPE | ECONNRESET | ECONNREFUSED), _, _)
         ->
           reconnect t p
@@ -294,6 +342,9 @@ module Router = struct
                  acked = 0;
                  lost = 0;
                  reconnects = 0;
+                 version = 1;
+                 offset_ns = 0L;
+                 probe_seq = 0;
                }
              in
              opened := (spec.peer_name, p) :: !opened;
@@ -348,6 +399,109 @@ module Router = struct
   let lost_items t =
     List.fold_left (fun acc (_, p) -> acc + p.lost) 0 t.peers
 
+  let peer_versions t =
+    List.map (fun (name, p) -> (name, p.version)) t.peers
+
+  let clock_offsets t =
+    List.map (fun (name, p) -> (name, p.offset_ns)) t.peers
+
+  (* ---- operations plane ------------------------------------------- *)
+
+  let request_reply t p frame ~what pred =
+    flush t p;
+    let out = Buffer.create 16 in
+    Frame.Encoder.add p.enc out frame;
+    Frame.Encoder.flush p.enc out;
+    write_all p.fd (Buffer.contents out);
+    await t p ~what pred
+
+  let clock_sync ?(probes = 3) t =
+    match
+      if t.closed then raise (Router_error "router already finished");
+      List.iter
+        (fun (_, p) ->
+          if p.version >= 2 then begin
+            let best_rtt = ref Int64.max_int in
+            for _ = 1 to probes do
+              let seq = p.probe_seq in
+              p.probe_seq <- seq + 1;
+              flush t p;
+              let out = Buffer.create 16 in
+              Frame.Encoder.add p.enc out (Frame.Clock_probe { seq });
+              Frame.Encoder.flush p.enc out;
+              let t0 = Adprom_obs.Clock.monotonic_ns () in
+              write_all p.fd (Buffer.contents out);
+              let mono_ns =
+                await t p ~what:"clock-reply" (function
+                  | Frame.Clock_reply { seq = s; mono_ns; _ } when s = seq ->
+                      Some mono_ns
+                  | _ -> None)
+              in
+              let t1 = Adprom_obs.Clock.monotonic_ns () in
+              (* the probe with the smallest round trip spent the least
+                 time queued anywhere, so dating its sample at the
+                 midpoint has the tightest error bound *)
+              let rtt = Int64.sub t1 t0 in
+              if Int64.compare rtt !best_rtt < 0 then begin
+                best_rtt := rtt;
+                p.offset_ns <-
+                  Int64.sub mono_ns (Int64.div (Int64.add t0 t1) 2L)
+              end
+            done
+          end)
+        t.peers
+    with
+    | () -> Ok ()
+    | exception Router_error e -> Error e
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  let health t =
+    match
+      if t.closed then raise (Router_error "router already finished");
+      List.filter_map
+        (fun (name, p) ->
+          if p.version < 2 then None
+          else
+            Some
+              ( name,
+                request_reply t p Frame.Health_req ~what:"health" (function
+                  | Frame.Health_resp h -> Some h
+                  | _ -> None) ))
+        t.peers
+    with
+    | healths -> Ok healths
+    | exception Router_error e -> Error e
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  let spans t =
+    match
+      if t.closed then raise (Router_error "router already finished");
+      List.filter_map
+        (fun (name, p) ->
+          if p.version < 2 then None
+          else
+            Some
+              ( name,
+                p.offset_ns,
+                request_reply t p Frame.Spans_req ~what:"spans" (function
+                  | Frame.Spans_resp spans -> Some spans
+                  | _ -> None) ))
+        t.peers
+    with
+    | groups -> Ok groups
+    | exception Router_error e -> Error e
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  let close t =
+    (* drop the connections without [Bye]: the observation commands
+       ([status], [top]) must not shut the fleet down on exit *)
+    if not t.closed then begin
+      t.closed <- true;
+      List.iter
+        (fun (_, p) -> try Unix.close p.fd with Unix.Unix_error _ -> ())
+        t.peers
+    end
+
   (* ---- metrics merging ------------------------------------------- *)
 
   let fmt_value v =
@@ -360,7 +514,9 @@ module Router = struct
       (fun dump ->
         List.iter
           (fun line ->
-            if line <> "" then
+            (* # HELP / # TYPE metadata merges by dedup, not by sum —
+               dropped here; the merged dump stays sample lines only *)
+            if line <> "" && line.[0] <> '#' then
               match String.rindex_opt line ' ' with
               | None -> ()
               | Some i -> (

@@ -68,6 +68,43 @@ module Router : sig
   (** Items acknowledged as lost across reconnects — nonzero means the
       cluster verdicts are not comparable to a single-node replay. *)
 
+  val peer_versions : t -> (string * int) list
+  (** Per node (connect order): the negotiated wire version —
+      [min Frame.protocol_version (the node's hello)]. Version-2 frames
+      are only ever sent to peers negotiated at ≥ 2. *)
+
+  val clock_offsets : t -> (string * int64) list
+  (** Per node: the current [node_mono - router_mono] estimate in
+      nanoseconds (0 until a v2 hello or {!clock_sync} refined it) —
+      the alignment {!Adprom_obs.Trace.to_chrome_json_cluster} takes. *)
+
+  val clock_sync : ?probes:int -> t -> (unit, string) result
+  (** Probe every v2 node's monotonic clock [probes] times (default 3)
+      and keep, per node, the offset estimated by the round trip with
+      the smallest RTT — the sample least distorted by queueing. v1
+      nodes are skipped (their offsets stay at the hello estimate, or
+      0). *)
+
+  val health : t -> ((string * Frame.health) list, string) result
+  (** Fan a [Health_req] out to every v2 node: each answers its name,
+      {!Health.status}, value-level metrics snapshot, incident tail and
+      uptime. v1 nodes are omitted from the result (use
+      {!peer_versions} to show them as unknown). Fold the snapshots
+      with {!Metrics.merge_snapshots} for the fleet view. *)
+
+  val spans : t -> ((string * int64 * Adprom_obs.Trace.span list) list, string) result
+  (** Collect every v2 node's retained trace spans, each tagged with
+      the node's name and clock offset — exactly the groups
+      {!Adprom_obs.Trace.dump_chrome_cluster} merges onto one
+      timeline (prepend the router's own
+      [("router", 0L, Trace.spans ())] group). *)
+
+  val close : t -> unit
+  (** Close the connections {e without} sending [Bye]: the nodes keep
+      serving. What the observation commands (`adprom status`,
+      `adprom top`) end with — {!finish} would drain the fleet.
+      Idempotent; the router is unusable afterwards. *)
+
   val metrics : t -> (string, string) result
   (** Fan a [Metrics_req] out to every node and merge the dumps: values
       are summed per metric name, except [*_max] high-watermark lines

@@ -39,10 +39,22 @@ let qsig_policy_of_mode = function
   | Qsig_off | Qsig_warn -> Adprom_qsig.Constraints.Flexible
   | Qsig_enforce -> Adprom_qsig.Constraints.Strict
 
+module Oclock = Adprom_obs.Clock
+
+(* Items are stamped with the monotonic clock at admission so workers
+   can report queue wait and ingest→verdict (end-to-end) latency. *)
 type message =
-  | Event of Codec.event
-  | Query of Codec.query
+  | Event of Codec.event * int64  (* payload, enqueue monotonic ns *)
+  | Query of Codec.query * int64
   | Shed of int  (* discard this session's scorer; ignore later events *)
+
+(* End-to-end latency spans queueing, so it needs headroom past the
+   1s scoring-latency ceiling; both nodes registering the same layout
+   is what lets the router merge fleet histograms bucket-wise. *)
+let e2e_buckets =
+  Array.append Metrics.default_buckets [| 2.5; 5.0; 10.0 |]
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
 
 type shard = {
   mutex : Mutex.t;
@@ -146,6 +158,10 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
   let c_windows = Metrics.counter metrics "adprom_windows_scored_total" in
   let c_flags = Array.map (Metrics.counter metrics) flag_counter_names in
   let h_latency = Metrics.histogram metrics "adprom_score_latency_seconds" in
+  let h_queue_wait = Metrics.histogram metrics "adprom_queue_wait_seconds" in
+  let h_e2e =
+    Metrics.histogram ~buckets:e2e_buckets metrics "adprom_e2e_latency_seconds"
+  in
   let c_hits = Metrics.counter metrics "adprom_score_cache_hits_total" in
   let c_misses = Metrics.counter metrics "adprom_score_cache_misses_total" in
   let c_scorer_errors = Metrics.counter metrics "adprom_scorer_errors_total" in
@@ -207,8 +223,9 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
               | None -> [])
             "incident"
   in
-  let handle = function
-    | Event { Codec.session; event } ->
+  let handle deq_ns = function
+    | Event ({ Codec.session; event }, enq_ns) ->
+        Metrics.observe h_queue_wait (ns_to_s (Int64.sub deq_ns enq_ns));
         if not (Hashtbl.mem shed_here session) then begin
           let scorer =
             match Hashtbl.find_opt scorers session with
@@ -220,7 +237,12 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
           in
           let t0 = Unix.gettimeofday () in
           (match Scorer.push scorer event with
-          | Ok (Some verdict) -> account session scorer verdict
+          | Ok (Some verdict) ->
+              account session scorer verdict;
+              (* the verdict-completing event pays one extra clock read
+                 to date the whole ingest→verdict path *)
+              Metrics.observe h_e2e
+                (ns_to_s (Int64.sub (Oclock.monotonic_ns ()) enq_ns))
           | Ok None -> ()
           | Error _ ->
               (* a protocol slip (event after end-of-session), handled
@@ -228,7 +250,8 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
               Metrics.incr c_scorer_errors);
           Metrics.observe h_latency (Unix.gettimeofday () -. t0)
         end
-    | Query { Codec.q_session = session; rows; sql } -> (
+    | Query ({ Codec.q_session = session; rows; sql }, enq_ns) -> (
+        Metrics.observe h_queue_wait (ns_to_s (Int64.sub deq_ns enq_ns));
         match qsig_engine with
         | None -> ()
         | Some qe ->
@@ -292,11 +315,15 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
     in
     (* batch-granularity span: per-event spans would dominate the push
        itself; per-event latency is already in the latency histogram *)
-    if not (Queue.is_empty batch) then
+    if not (Queue.is_empty batch) then begin
+      (* one clock read dates the whole batch's dequeue: per-message
+         reads would double the clock cost for no extra signal *)
+      let deq_ns = Oclock.monotonic_ns () in
       Otrace.with_span "daemon.batch"
         ~attrs:(fun () ->
           [ ("shard", string_of_int idx); ("events", string_of_int (Queue.length batch)) ])
-        (fun () -> Queue.iter handle batch);
+        (fun () -> Queue.iter (handle deq_ns) batch)
+    end;
     sync_cache_counters ();
     if finished then begin
       let qsig_stats session =
@@ -407,7 +434,16 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
      before the first event arrives *)
   ignore (Metrics.counter metrics "adprom_windows_scored_total");
   Array.iter (fun n -> ignore (Metrics.counter metrics n)) flag_counter_names;
-  ignore (Metrics.histogram metrics "adprom_score_latency_seconds");
+  ignore
+    (Metrics.histogram metrics "adprom_score_latency_seconds"
+       ~help:"Per-event scorer push latency");
+  ignore
+    (Metrics.histogram metrics "adprom_queue_wait_seconds"
+       ~help:"Time items spend queued between admission and dequeue");
+  ignore
+    (Metrics.histogram ~buckets:e2e_buckets metrics
+       "adprom_e2e_latency_seconds"
+       ~help:"Ingest-to-verdict latency of verdict-completing events");
   ignore (Metrics.counter metrics "adprom_score_cache_hits_total");
   ignore (Metrics.counter metrics "adprom_score_cache_misses_total");
   ignore (Metrics.counter metrics "adprom_scorer_errors_total");
@@ -503,7 +539,7 @@ let ingest t ev =
       Rejected { newly_shed = true }
     end
     else begin
-      Queue.add (Event ev) shard.queue;
+      Queue.add (Event (ev, Oclock.monotonic_ns ())) shard.queue;
       Metrics.set_gauge shard.depth (depth + 1);
       Condition.signal shard.nonempty;
       Mutex.unlock shard.mutex;
@@ -527,7 +563,7 @@ let ingest_query t (q : Codec.query) =
        are exempt from the shedding bound, like the control message. *)
     let shard = t.shards.(shard_of t q.Codec.q_session) in
     Mutex.lock shard.mutex;
-    Queue.add (Query q) shard.queue;
+    Queue.add (Query (q, Oclock.monotonic_ns ())) shard.queue;
     Condition.signal shard.nonempty;
     Mutex.unlock shard.mutex;
     Accepted
@@ -579,6 +615,7 @@ let drain t =
 let metrics t = t.metrics
 let alerts t = t.alerts
 let shard_count t = Array.length t.shards
+let queue_capacity t = t.capacity
 
 let recent_events ?limit t =
   let all =

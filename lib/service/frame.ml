@@ -1,7 +1,7 @@
 module Trace_io = Runtime.Trace_io
 module Symbol = Analysis.Symbol
 
-let protocol_version = 1
+let protocol_version = 2
 let magic = "\xad\x51"
 let max_payload = 1 lsl 24
 
@@ -12,8 +12,16 @@ type node_summary = {
   fused : (int * Alerts.fused) list;
 }
 
+type health = {
+  h_node : string;
+  h_status : Health.status;
+  h_snapshot : Metrics.snapshot;
+  h_incidents : (int * string) list;
+  h_uptime_s : float;
+}
+
 type frame =
-  | Hello of { version : int; peer : string }
+  | Hello of { version : int; peer : string; sample : (int64 * int64) option }
   | Ack of { count : int }
   | Call of Transport.event
   | Query of Transport.query
@@ -21,6 +29,13 @@ type frame =
   | Metrics_resp of string
   | Bye
   | Summary of node_summary
+  | Clock_probe of { seq : int }
+  | Clock_reply of { seq : int; mono_ns : int64; wall_ns : int64 }
+  | Trace_mark of { trace_id : int; send_mono_ns : int64; offset_ns : int64 }
+  | Health_req
+  | Health_resp of health
+  | Spans_req
+  | Spans_resp of Adprom_obs.Trace.span list
 
 type error =
   | Bad_magic of { byte0 : int; byte1 : int }
@@ -56,6 +71,26 @@ let tag_of_frame = function
   | Metrics_resp _ -> 5
   | Bye -> 6
   | Summary _ -> 7
+  | Clock_probe _ -> 8
+  | Clock_reply _ -> 9
+  | Trace_mark _ -> 10
+  | Health_req -> 11
+  | Health_resp _ -> 12
+  | Spans_req -> 13
+  | Spans_resp _ -> 14
+
+let max_tag = 14
+
+(* Version-1 decoders reject any header stamped > 1, so each frame is
+   stamped with the lowest version that can decode it: the v1 frame set
+   keeps its v1 stamp (a new router still interoperates with an old
+   node), only the v2 extensions — the new tags, and a Hello that
+   carries a clock sample — announce version 2. *)
+let frame_wire_version = function
+  | Hello { sample = Some _; _ } -> 2
+  | f -> if tag_of_frame f >= 8 then 2 else 1
+
+let max_tag_of_version ver = if ver >= 2 then max_tag else 7
 
 let frame_name_of_tag = function
   | 0 -> "hello"
@@ -66,6 +101,13 @@ let frame_name_of_tag = function
   | 5 -> "metrics-resp"
   | 6 -> "bye"
   | 7 -> "summary"
+  | 8 -> "clock-probe"
+  | 9 -> "clock-reply"
+  | 10 -> "trace-mark"
+  | 11 -> "health-req"
+  | 12 -> "health-resp"
+  | 13 -> "spans-req"
+  | 14 -> "spans-resp"
   | _ -> "unknown"
 
 let frame_name f = frame_name_of_tag (tag_of_frame f)
@@ -364,7 +406,7 @@ module Encoder = struct
     e.fstart <- e.w.wpos;
     e.w.wpos <- e.w.wpos + 8
 
-  let end_frame e out tag =
+  let end_frame e out ~ver tag =
     let w = e.w in
     let fs = e.fstart in
     let len = w.wpos - fs - 8 in
@@ -377,7 +419,7 @@ module Encoder = struct
     let b = w.wbuf in
     Bytes.unsafe_set b fs magic.[0];
     Bytes.unsafe_set b (fs + 1) magic.[1];
-    Bytes.unsafe_set b (fs + 2) (Char.unsafe_chr protocol_version);
+    Bytes.unsafe_set b (fs + 2) (Char.unsafe_chr ver);
     Bytes.unsafe_set b (fs + 3) (Char.unsafe_chr tag);
     Bytes.unsafe_set b (fs + 4) (Char.unsafe_chr (len lsr 24 land 0xff));
     Bytes.unsafe_set b (fs + 5) (Char.unsafe_chr (len lsr 16 land 0xff));
@@ -393,7 +435,7 @@ module Encoder = struct
     add_strref e event.Runtime.Collector.caller;
     add_zigzag e.w event.Runtime.Collector.block;
     add_symbol e event.Runtime.Collector.symbol;
-    end_frame e out 2
+    end_frame e out ~ver:1 2
 
   (* [put_varint b p n] writes at [p] (capacity pre-checked) and
      returns the next position — position-passing instead of a ref so
@@ -454,18 +496,18 @@ module Encoder = struct
       | Entry ->
           Bytes.unsafe_set b p '\000';
           w.wpos <- p + 1;
-          end_frame e out 2
+          end_frame e out ~ver:1 2
       | Exit ->
           Bytes.unsafe_set b p '\001';
           w.wpos <- p + 1;
-          end_frame e out 2
+          end_frame e out ~ver:1 2
       | Func name ->
           let nref = cached_ref e name in
           if nref < 0 then add_call_slow e out ev
           else begin
             Bytes.unsafe_set b p '\002';
             w.wpos <- put_varint b (p + 1) nref;
-            end_frame e out 2
+            end_frame e out ~ver:1 2
           end
       | Lib { name; label; site } ->
           let nref = cached_ref e name in
@@ -476,7 +518,7 @@ module Encoder = struct
             let p = put_opt b p label in
             let p = put_opt b p site in
             w.wpos <- p;
-            end_frame e out 2
+            end_frame e out ~ver:1 2
           end
     end
 
@@ -487,15 +529,91 @@ module Encoder = struct
     add_varint e.w q_session;
     add_varint e.w rows;
     add_str e.w sql;
-    end_frame e out 3
+    end_frame e out ~ver:1 3
+
+  let add_snapshot buf (s : Metrics.snapshot) =
+    add_varint buf (List.length s.Metrics.counters);
+    List.iter
+      (fun (name, v) ->
+        add_str buf name;
+        add_varint buf v)
+      s.Metrics.counters;
+    add_varint buf (List.length s.Metrics.gauges);
+    List.iter
+      (fun (name, v, hwm) ->
+        add_str buf name;
+        add_zigzag buf v;
+        add_zigzag buf hwm)
+      s.Metrics.gauges;
+    add_varint buf (List.length s.Metrics.histograms);
+    List.iter
+      (fun (hs : Metrics.hist_snapshot) ->
+        add_str buf hs.Metrics.hs_name;
+        add_varint buf (Array.length hs.Metrics.hs_bounds);
+        Array.iter
+          (fun b -> add_fixed64 buf (Int64.bits_of_float b))
+          hs.Metrics.hs_bounds;
+        (* buckets length is bounds + 1 by construction, so implied *)
+        Array.iter (fun n -> add_varint buf n) hs.Metrics.hs_buckets;
+        add_fixed64 buf (Int64.bits_of_float hs.Metrics.hs_sum);
+        add_varint buf hs.Metrics.hs_count)
+      s.Metrics.histograms
+
+  let add_span buf (sp : Adprom_obs.Trace.span) =
+    add_str buf sp.Adprom_obs.Trace.name;
+    add_varint buf sp.Adprom_obs.Trace.trace_id;
+    add_varint buf sp.Adprom_obs.Trace.span_id;
+    add_opt_int buf sp.Adprom_obs.Trace.parent;
+    add_varint buf sp.Adprom_obs.Trace.domain;
+    add_fixed64 buf sp.Adprom_obs.Trace.start_ns;
+    add_fixed64 buf sp.Adprom_obs.Trace.dur_ns;
+    add_varint buf (List.length sp.Adprom_obs.Trace.attrs);
+    List.iter
+      (fun (k, v) ->
+        add_str buf k;
+        add_str buf v)
+      sp.Adprom_obs.Trace.attrs
 
   let encode_payload e = function
     | Call _ | Query _ -> assert false (* [add] dispatches those *)
-    | Hello { version; peer } ->
+    | Hello { version; peer; sample } -> (
         add_varint e.w version;
-        add_str e.w peer
+        add_str e.w peer;
+        (* without a sample the payload is exactly the v1 shape (v1
+           decoders reject trailing bytes), and [frame_wire_version]
+           stamps the header v1 to match *)
+        match sample with
+        | None -> ()
+        | Some (mono_ns, wall_ns) ->
+            add_bool e.w true;
+            add_fixed64 e.w mono_ns;
+            add_fixed64 e.w wall_ns)
     | Ack { count } -> add_varint e.w count
-    | Metrics_req | Bye -> ()
+    | Metrics_req | Bye | Health_req | Spans_req -> ()
+    | Clock_probe { seq } -> add_varint e.w seq
+    | Clock_reply { seq; mono_ns; wall_ns } ->
+        add_varint e.w seq;
+        add_fixed64 e.w mono_ns;
+        add_fixed64 e.w wall_ns
+    | Trace_mark { trace_id; send_mono_ns; offset_ns } ->
+        add_varint e.w trace_id;
+        add_fixed64 e.w send_mono_ns;
+        add_fixed64 e.w offset_ns
+    | Health_resp { h_node; h_status; h_snapshot; h_incidents; h_uptime_s } ->
+        let buf = e.w in
+        add_str buf h_node;
+        add_u8 buf (Health.status_to_int h_status);
+        add_fixed64 buf (Int64.bits_of_float h_uptime_s);
+        add_snapshot buf h_snapshot;
+        add_varint buf (List.length h_incidents);
+        List.iter
+          (fun (s, text) ->
+            add_varint buf s;
+            add_str buf text)
+          h_incidents
+    | Spans_resp spans ->
+        add_varint e.w (List.length spans);
+        List.iter (add_span e.w) spans
     | Metrics_resp dump ->
         let w = e.w in
         let len = String.length dump in
@@ -547,7 +665,7 @@ module Encoder = struct
     | _ ->
         begin_frame e;
         encode_payload e frame;
-        end_frame e out (tag_of_frame frame)
+        end_frame e out ~ver:(frame_wire_version frame) (tag_of_frame frame)
 end
 
 module Decoder = struct
@@ -556,10 +674,14 @@ module Decoder = struct
     mutable interned : string array;
     mutable interned_len : int;
     mutable dead : error option;
+    max_version : int;  (* headers stamped above this are rejected —
+                           [create ~max_version:1] behaves like an old
+                           build, which the version-skew tests pin *)
   }
 
-  let create () =
-    { pending = Buffer.create 256; interned = [||]; interned_len = 0; dead = None }
+  let create ?(max_version = protocol_version) () =
+    { pending = Buffer.create 256; interned = [||]; interned_len = 0;
+      dead = None; max_version }
 
   (* The table's memory is bounded by the bytes the peer actually sent
      (an inline definition costs its full length on the wire), so no
@@ -594,14 +716,77 @@ module Decoder = struct
         Lib { name; label; site }
     | b -> raise (Fail (Printf.sprintf "bad symbol tag %d" b))
 
-  let decode_payload d tag s pos stop =
+  let read_snapshot c =
+    let counters =
+      read_list c (fun c ->
+          let name = str c in
+          let v = nonneg c "counter value" in
+          (name, v))
+    in
+    let gauges =
+      read_list c (fun c ->
+          let name = str c in
+          let v = zigzag c in
+          let hwm = zigzag c in
+          (name, v, hwm))
+    in
+    let histograms =
+      read_list c (fun c ->
+          let hs_name = str c in
+          let nb = varint c in
+          (* each bound is 8 bytes, so the remaining payload bounds a
+             well-formed count — same guard as [read_list] *)
+          if nb < 0 || nb > (c.cstop - c.p) / 8 then
+            raise (Fail "histogram bound count out of range");
+          let hs_bounds =
+            Array.init nb (fun _ -> Int64.float_of_bits (fixed64 c))
+          in
+          let hs_buckets =
+            Array.init (nb + 1) (fun _ -> nonneg c "bucket count")
+          in
+          let hs_sum = Int64.float_of_bits (fixed64 c) in
+          let hs_count = nonneg c "histogram count" in
+          { Metrics.hs_name; hs_bounds; hs_buckets; hs_sum; hs_count })
+    in
+    { Metrics.counters; gauges; histograms }
+
+  let read_span c : Adprom_obs.Trace.span =
+    let name = str c in
+    let trace_id = nonneg c "trace id" in
+    let span_id = nonneg c "span id" in
+    let parent = opt_int c in
+    let domain = nonneg c "domain id" in
+    let start_ns = fixed64 c in
+    let dur_ns = fixed64 c in
+    let attrs =
+      read_list c (fun c ->
+          let k = str c in
+          let v = str c in
+          (k, v))
+    in
+    { Adprom_obs.Trace.name; trace_id; span_id; parent; domain; start_ns;
+      dur_ns; attrs }
+
+  let decode_payload d ~ver tag s pos stop =
     let c = { cbuf = s; p = pos; cstop = stop } in
     let frame =
       match tag with
       | 0 ->
           let version = varint c in
           let peer = str c in
-          Hello { version; peer }
+          let sample =
+            (* the v2 extension rides behind the v1 fields; a v2 header
+               with nothing further is a plain sample-less hello *)
+            if ver >= 2 && c.p < stop then
+              if bool c then begin
+                let mono_ns = fixed64 c in
+                let wall_ns = fixed64 c in
+                Some (mono_ns, wall_ns)
+              end
+              else None
+            else None
+          in
+          Hello { version; peer; sample }
       | 1 -> Ack { count = nonneg c "ack count" }
       | 2 ->
           let session = nonneg c "session id" in
@@ -662,6 +847,36 @@ module Decoder = struct
                   events_dropped };
               incidents;
               fused = fu }
+      | 8 -> Clock_probe { seq = nonneg c "probe seq" }
+      | 9 ->
+          let seq = nonneg c "probe seq" in
+          let mono_ns = fixed64 c in
+          let wall_ns = fixed64 c in
+          Clock_reply { seq; mono_ns; wall_ns }
+      | 10 ->
+          let trace_id = nonneg c "trace id" in
+          let send_mono_ns = fixed64 c in
+          let offset_ns = fixed64 c in
+          Trace_mark { trace_id; send_mono_ns; offset_ns }
+      | 11 -> Health_req
+      | 12 ->
+          let h_node = str c in
+          let h_status =
+            match Health.status_of_int (u8 c) with
+            | Some s -> s
+            | None -> raise (Fail "bad health status byte")
+          in
+          let h_uptime_s = Int64.float_of_bits (fixed64 c) in
+          let h_snapshot = read_snapshot c in
+          let h_incidents =
+            read_list c (fun c ->
+                let s = varint c in
+                let text = str c in
+                (s, text))
+          in
+          Health_resp { h_node; h_status; h_snapshot; h_incidents; h_uptime_s }
+      | 13 -> Spans_req
+      | 14 -> Spans_resp (read_list c read_span)
       | _ -> assert false (* the frame loop rejected the tag already *)
     in
     if c.p <> stop then raise (Fail "trailing bytes after payload");
@@ -677,10 +892,10 @@ module Decoder = struct
           Error (Bad_magic { byte0 = b0; byte1 = b1 })
         else begin
           let ver = Char.code (String.unsafe_get s (i + 2)) in
-          if ver < 1 || ver > protocol_version then Error (Bad_version ver)
+          if ver < 1 || ver > d.max_version then Error (Bad_version ver)
           else begin
             let tag = Char.code (String.unsafe_get s (i + 3)) in
-            if tag > 7 then Error (Bad_frame_type tag)
+            if tag > max_tag_of_version ver then Error (Bad_frame_type tag)
             else begin
               let len =
                 (Char.code (String.unsafe_get s (i + 4)) lsl 24)
@@ -692,7 +907,7 @@ module Decoder = struct
                 Error (Frame_too_large { length = len; limit = max_payload })
               else if stop - i - 8 < len then Ok (acc, i)
               else
-                match decode_payload d tag s (i + 8) (i + 8 + len) with
+                match decode_payload d ~ver tag s (i + 8) (i + 8 + len) with
                 | frame -> go (f acc frame) (i + 8 + len)
                 | exception Fail reason ->
                     Error
@@ -720,10 +935,10 @@ module Decoder = struct
           Error (Bad_magic { byte0 = b0; byte1 = b1 })
         else begin
           let ver = Char.code (String.unsafe_get s (i + 2)) in
-          if ver < 1 || ver > protocol_version then Error (Bad_version ver)
+          if ver < 1 || ver > d.max_version then Error (Bad_version ver)
           else begin
             let tag = Char.code (String.unsafe_get s (i + 3)) in
-            if tag > 7 then Error (Bad_frame_type tag)
+            if tag > max_tag_of_version ver then Error (Bad_frame_type tag)
             else begin
               let len =
                 (Char.code (String.unsafe_get s (i + 4)) lsl 24)
@@ -764,10 +979,16 @@ module Decoder = struct
                   | exception Fail reason ->
                       Error (Bad_payload { frame = "query"; reason })
                 else if tag = 0 then
-                  (* record files may open with a hello; validate and skip *)
+                  (* record files may open with a hello; validate and skip
+                     (either shape — a v2 one may carry a clock sample) *)
                   match
                     ignore (varint c);
                     ignore (str c);
+                    if ver >= 2 && c.p < c.cstop then
+                      if bool c then begin
+                        ignore (fixed64 c);
+                        ignore (fixed64 c)
+                      end;
                     if c.p <> c.cstop then
                       raise_notrace (Fail "trailing bytes after payload")
                   with
@@ -847,7 +1068,7 @@ module T = struct
   type dec = Decoder.t
 
   let encoder = Encoder.create
-  let decoder = Decoder.create
+  let decoder () = Decoder.create ()
 
   let encode e buf = function
     | Transport.Call ev -> Encoder.add_call e buf ev

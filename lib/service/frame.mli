@@ -16,14 +16,25 @@
     ingestion feedback from a node), [Metrics_req]/[Metrics_resp]
     (cross-node metrics aggregation), [Bye] (end of stream — the node
     drains its daemon and answers with) [Summary] (per-session verdicts,
-    shed accounting, rendered incidents and fused axes).
+    shed accounting, rendered incidents and fused axes). Version 2 adds
+    the operations plane: [Clock_probe]/[Clock_reply] (per-peer clock
+    offset estimation), [Trace_mark] (cross-node trace propagation
+    ahead of each batch), [Health_req]/[Health_resp] (fleet health
+    rollup carrying a value-level metrics snapshot) and
+    [Spans_req]/[Spans_resp] (collecting node spans for a merged
+    cluster trace).
+
+    Each frame's header is stamped with the {e lowest} version that can
+    decode it — the whole v1 frame set keeps its v1 stamp — so a new
+    router interoperates with old nodes by simply not sending v2 frames
+    to a peer whose [Hello] announced version 1.
 
     Decoding is total: any malformed byte yields a structured {!error},
     never an exception, and the decoder stays dead afterwards (binary
     framing cannot resynchronize). *)
 
 val protocol_version : int
-(** Current wire version (1). A decoder rejects frames stamped with a
+(** Current wire version (2). A decoder rejects frames stamped with a
     newer version; {!Hello} lets peers agree on the minimum. *)
 
 val magic : string
@@ -44,8 +55,23 @@ type node_summary = {
       (** per surviving session: which detection axes fired *)
 }
 
+type health = {
+  h_node : string;  (** the node's self-chosen name *)
+  h_status : Health.status;
+  h_snapshot : Metrics.snapshot;
+      (** value-level metrics — the router merges these exactly with
+          {!Metrics.merge_snapshots}, no text re-parsing *)
+  h_incidents : (int * string) list;
+      (** tail of the node's incident log, (session, rendering) *)
+  h_uptime_s : float;
+}
+
 type frame =
-  | Hello of { version : int; peer : string }
+  | Hello of { version : int; peer : string; sample : (int64 * int64) option }
+      (** [sample] is [(monotonic_ns, wall_ns)] read just before the
+          frame was staged — the responder attaches one so the
+          initiator can estimate the peer's clock offset. A sample-less
+          hello is byte-identical to the v1 frame and is stamped v1. *)
   | Ack of { count : int }  (** events ingested on this connection so far *)
   | Call of Transport.event
   | Query of Transport.query
@@ -53,6 +79,20 @@ type frame =
   | Metrics_resp of string  (** a Prometheus-style {!Metrics.dump} *)
   | Bye
   | Summary of node_summary
+  | Clock_probe of { seq : int }
+  | Clock_reply of { seq : int; mono_ns : int64; wall_ns : int64 }
+      (** clocks read between receiving the probe and staging the reply;
+          the prober dates them at the probe's midpoint (min-RTT) *)
+  | Trace_mark of { trace_id : int; send_mono_ns : int64; offset_ns : int64 }
+      (** sent ahead of a batch: the batch's trace id, the router's
+          clock when it sent, and the router's estimate of {e this
+          peer's} offset ([peer_ns - router_ns]) so the node can place
+          the router's send instant on its own clock *)
+  | Health_req
+  | Health_resp of health
+  | Spans_req
+  | Spans_resp of Adprom_obs.Trace.span list
+      (** the node's retained spans, timed by the node's own clock *)
 
 type error =
   | Bad_magic of { byte0 : int; byte1 : int }
@@ -89,7 +129,10 @@ end
 module Decoder : sig
   type t
 
-  val create : unit -> t
+  val create : ?max_version:int -> unit -> t
+  (** [max_version] (default {!protocol_version}) caps the header
+      versions this decoder accepts — [~max_version:1] reproduces an
+      old build's wire behaviour, which the version-skew tests pin. *)
 
   val feed : t -> ?pos:int -> ?len:int -> string -> (frame list, error) result
   (** Consume one chunk (a TCP read, or a whole file) and return the

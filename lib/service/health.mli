@@ -1,0 +1,57 @@
+(** Node health derivation: one place turns a {!Metrics.snapshot} into
+    the Ok / Degraded / Unhealthy verdict that the HTTP [/healthz]
+    endpoint, the [Health_resp] frame and the fleet dashboard all
+    report, so the three surfaces can never disagree. *)
+
+type status = Healthy | Degraded | Unhealthy
+
+val status_to_string : status -> string
+(** ["ok"], ["degraded"], ["unhealthy"]. *)
+
+val status_of_string : string -> status option
+
+val status_to_int : status -> int
+(** 0 / 1 / 2 — the wire encoding of the status. *)
+
+val status_of_int : int -> status option
+
+val worst : status -> status -> status
+(** The more severe of the two — the fleet fold. *)
+
+type thresholds = {
+  shed_degraded : float;  (** dropped/offered ratio that degrades *)
+  shed_unhealthy : float;  (** dropped/offered ratio that fails *)
+  queue_hwm_frac : float;  (** queue high-watermark / capacity *)
+  scorer_errors : int;
+  e2e_p99_slo : float;  (** seconds of ingest→verdict p99 *)
+}
+
+val default_thresholds : thresholds
+(** 1% shed degrades, 10% fails; watermark at 90% of capacity, any
+    scorer error, or e2e p99 over 1s degrade. *)
+
+type report = {
+  status : status;
+  reasons : string list;  (** one per tripped threshold, empty when ok *)
+  shed_rate : float;
+  queue_depth : int;  (** sum of per-shard depth gauges *)
+  queue_hwm : int;  (** max per-shard high-watermark *)
+  queue_capacity : int;
+  scorer_errors : int;
+  e2e_p50 : float;
+  e2e_p99 : float;  (** [nan] until the first verdict *)
+}
+
+val evaluate :
+  ?thresholds:thresholds -> queue_capacity:int -> Metrics.snapshot -> report
+(** Derive the node's health from the standard daemon series
+    ([adprom_events_{offered,dropped}_total],
+    [adprom_queue_depth_shard*], [adprom_scorer_errors_total],
+    [adprom_e2e_latency_seconds]). Missing series read as zero /
+    [nan], so a fresh node is [Healthy]. *)
+
+val report_to_json :
+  ?extra:(string * string) list -> node:string -> uptime_s:float -> report -> string
+(** The [/healthz] JSON body; [extra] appends pre-rendered fields.
+    Quantiles render as JSON numbers, [null] when empty, ["+Inf"] when
+    in the overflow bucket. *)

@@ -26,9 +26,10 @@ let write_all fd s =
   go 0
 
 type codec_state =
-  | Undecided of Buffer.t  (* fewer than the two magic-detect bytes seen *)
+  | Undecided of Buffer.t  (* not enough bytes to tell the wires apart *)
   | Bin of Frame.Decoder.t * Frame.Encoder.t
   | Txt of Transport.Text.dec
+  | Http of Buffer.t  (* request bytes until the blank line *)
 
 type conn = {
   fd : Unix.file_descr;
@@ -37,9 +38,86 @@ type conn = {
   mutable acked : int;
 }
 
-let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
-    ?metrics ?alerts ?vet_against ?vet_policy ?static_gate ?qsig_mode
-    ?qsig_profile profile =
+(* --- plain-HTTP exposition ---------------------------------------- *)
+
+(* The same port speaks three wires; HTTP is the one whose first bytes
+   are a method name. Returns [None] while the buffered prefix could
+   still become one ("GE" might be "GET /metrics" — wait for bytes). *)
+let http_method_prefix s =
+  let starts m =
+    let n = min (String.length s) (String.length m) in
+    String.sub s 0 n = String.sub m 0 n
+  in
+  if String.length s >= 4 && String.sub s 0 4 = "GET " then Some `Get
+  else if String.length s >= 5 && String.sub s 0 5 = "HEAD " then Some `Head
+  else if starts "GET " || starts "HEAD " then None
+  else Some `No
+
+let http_response ?(content_type = "text/plain; version=0.0.4; charset=utf-8")
+    ~head_only status body =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 400 -> "Bad Request"
+    | 404 -> "Not Found"
+    | 503 -> "Service Unavailable"
+    | _ -> "Error"
+  in
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason content_type (String.length body)
+    (if head_only then "" else body)
+
+(* "/incidents?n=25" -> ("/incidents", Some "25") *)
+let split_query target =
+  match String.index_opt target '?' with
+  | None -> (target, None)
+  | Some i ->
+      let path = String.sub target 0 i in
+      let q = String.sub target (i + 1) (String.length target - i - 1) in
+      let v =
+        List.find_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | Some j when String.sub kv 0 j = "n" ->
+                Some (String.sub kv (j + 1) (String.length kv - j - 1))
+            | _ -> None)
+          (String.split_on_char '&' q)
+      in
+      (path, v)
+
+let incidents_json ~node ~limit alerts =
+  let module J = Adprom_obs.Json in
+  let all = Alerts.incidents alerts in
+  let total = List.length all in
+  let tail =
+    if total <= limit then all
+    else List.filteri (fun i _ -> i >= total - limit) all
+  in
+  let render (i : Alerts.incident) =
+    J.obj
+      [
+        ("seq", string_of_int i.Alerts.seq);
+        ("time", Printf.sprintf "%.6f" i.Alerts.time);
+        ("session", string_of_int i.Alerts.session);
+        ( "axis",
+          J.string (Alerts.axis_to_string (Alerts.axis_of_source i.Alerts.source))
+        );
+        ("text", J.string (Alerts.source_to_string i.Alerts.source));
+      ]
+  in
+  J.obj
+    [
+      ("node", J.string node);
+      ("total", string_of_int total);
+      ("incidents", "[" ^ String.concat "," (List.map render tail) ^ "]");
+    ]
+
+let serve ~socket ?(name = "node") ?(version = Frame.protocol_version) ?shards
+    ?queue_capacity ?keep_verdicts ?metrics ?alerts ?vet_against ?vet_policy
+    ?static_gate ?qsig_mode ?qsig_profile profile =
+  if version < 1 || version > Frame.protocol_version then
+    invalid_arg "Server.serve: unsupported protocol version";
   (* a reply to a client that already hung up must raise EPIPE (handled
      per connection below), not deliver a process-killing SIGPIPE *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -52,6 +130,7 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
   let c_frames = Metrics.counter metrics "adprom_wire_frames_total" in
   let c_bytes = Metrics.counter metrics "adprom_wire_bytes_total" in
   let c_decode_err = Metrics.counter metrics "adprom_wire_decode_errors_total" in
+  let c_http = Metrics.counter metrics "adprom_http_requests_total" in
   let t0 = Unix.gettimeofday () in
   let conns = ref [] in
   let stop = ref None in
@@ -76,15 +155,41 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
     try write_all c.fd (Buffer.contents out)
     with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> close_conn c
   in
+  let wall_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let health_report () =
+    Health.evaluate
+      ~queue_capacity:(Daemon.queue_capacity daemon)
+      (Metrics.snapshot metrics)
+  in
+  let incident_tail limit =
+    let all = Alerts.incidents (Daemon.alerts daemon) in
+    let total = List.length all in
+    (if total <= limit then all
+     else List.filteri (fun i _ -> i >= total - limit) all)
+    |> List.map (fun (i : Alerts.incident) ->
+           (i.Alerts.session, Alerts.source_to_string i.Alerts.source))
+  in
+  let spans_tail () =
+    (* keep the frame far below [max_payload] whatever the ring holds *)
+    let all = Adprom_obs.Trace.spans () in
+    let n = List.length all in
+    if n <= 10_000 then all else List.filteri (fun i _ -> i >= n - 10_000) all
+  in
   let handle_frame c enc (f : Frame.frame) =
     (* [close_conn] mid-chunk must silence the chunk's remaining frames:
        the fd is closed, so a reply would raise EBADF past the loop *)
     if List.memq c !conns then begin
       Metrics.incr c_frames;
       match f with
-      | Frame.Hello _ ->
-          reply enc c
-            (Frame.Hello { version = Frame.protocol_version; peer = name })
+      | Frame.Hello { version = peer_version; _ } ->
+          (* only a v2 peer may see the sample-carrying (v2-stamped)
+             reply; a v1 peer gets the byte-identical v1 hello *)
+          let sample =
+            if version >= 2 && peer_version >= 2 then
+              Some (Adprom_obs.Clock.monotonic_ns (), wall_ns ())
+            else None
+          in
+          reply enc c (Frame.Hello { version; peer = name; sample })
       | Frame.Call ev ->
           ignore (Daemon.ingest daemon ev);
           c.ingested <- c.ingested + 1
@@ -94,15 +199,117 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
       | Frame.Metrics_req ->
           reply enc c (Frame.Metrics_resp (Metrics.dump metrics))
       | Frame.Bye -> stop := Some c
-      | Frame.Ack _ | Frame.Metrics_resp _ | Frame.Summary _ ->
+      | Frame.Clock_probe { seq } ->
+          reply enc c
+            (Frame.Clock_reply
+               { seq;
+                 mono_ns = Adprom_obs.Clock.monotonic_ns ();
+                 wall_ns = wall_ns () })
+      | Frame.Trace_mark { trace_id; send_mono_ns; offset_ns } ->
+          (* place the router's send instant on this node's clock and
+             materialize the router→node handoff as a local span; the
+             mark only arrives when the router is tracing, so the node
+             needs no switch of its own *)
+          let start_ns = Int64.add send_mono_ns offset_ns in
+          let now = Adprom_obs.Clock.monotonic_ns () in
+          let dur_ns =
+            if Int64.compare now start_ns > 0 then Int64.sub now start_ns
+            else 0L
+          in
+          Adprom_obs.Trace.record_span ~trace_id ~name:"wire.batch" ~start_ns
+            ~dur_ns ()
+      | Frame.Health_req ->
+          let r = health_report () in
+          reply enc c
+            (Frame.Health_resp
+               { Frame.h_node = name;
+                 h_status = r.Health.status;
+                 h_snapshot = Metrics.snapshot metrics;
+                 h_incidents = incident_tail 32;
+                 h_uptime_s = Unix.gettimeofday () -. t0 })
+      | Frame.Spans_req -> reply enc c (Frame.Spans_resp (spans_tail ()))
+      | Frame.Ack _ | Frame.Metrics_resp _ | Frame.Summary _
+      | Frame.Clock_reply _ | Frame.Health_resp _ | Frame.Spans_resp _ ->
           (* replies have no business arriving at a server *)
           Metrics.incr c_decode_err;
           close_conn c
     end
   in
+  let respond_http c ~head_only status ?content_type body =
+    Metrics.incr c_http;
+    (try write_all c.fd (http_response ~head_only status ?content_type body)
+     with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ());
+    (* one request per connection: the three endpoints are scrape
+       targets, and closing keeps the select loop free of header-level
+       keep-alive state *)
+    close_conn c
+  in
+  let serve_http c meth target =
+    let head_only = meth = `Head in
+    let path, n_param = split_query target in
+    match path with
+    | "/metrics" -> respond_http c ~head_only 200 (Metrics.dump metrics)
+    | "/healthz" ->
+        let r = health_report () in
+        let status = if r.Health.status = Health.Unhealthy then 503 else 200 in
+        respond_http c ~head_only status ~content_type:"application/json"
+          (Health.report_to_json ~node:name
+             ~uptime_s:(Unix.gettimeofday () -. t0)
+             r
+          ^ "\n")
+    | "/incidents" ->
+        let limit =
+          match n_param with
+          | None -> 20
+          | Some s -> ( match int_of_string_opt s with
+            | Some n when n >= 0 -> n
+            | _ -> -1)
+        in
+        if limit < 0 then
+          respond_http c ~head_only 400 "bad n parameter\n"
+        else
+          respond_http c ~head_only 200 ~content_type:"application/json"
+            (incidents_json ~node:name ~limit (Daemon.alerts daemon) ^ "\n")
+    | _ -> respond_http c ~head_only 404 "not found\n"
+  in
+  let try_http c hb =
+    let s = Buffer.contents hb in
+    let terminated =
+      (* the head ends at a blank line: "\n\n", or "\n\r\n" (the tail
+         of "\r\n\r\n") *)
+      let n = String.length s in
+      let rec find i =
+        if i >= n then false
+        else if
+          s.[i] = '\n'
+          && ((i + 1 < n && s.[i + 1] = '\n')
+             || (i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n'))
+        then true
+        else find (i + 1)
+      in
+      find 0
+    in
+    if Buffer.length hb > 8192 then respond_http c ~head_only:false 400 "request head too large\n"
+    else if terminated then begin
+      let line =
+        match String.index_opt s '\n' with
+        | Some i ->
+            let l = String.sub s 0 i in
+            if l <> "" && l.[String.length l - 1] = '\r' then
+              String.sub l 0 (String.length l - 1)
+            else l
+        | None -> s
+      in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ ->
+          let m = if meth = "HEAD" then `Head else `Get in
+          serve_http c m target
+      | _ -> respond_http c ~head_only:false 400 "bad request line\n"
+    end
+  in
   let process c s =
     match c.codec with
-    | Undecided _ -> assert false
+    | Undecided _ | Http _ -> assert false
     | Bin (dec, enc) -> (
         match
           Frame.Decoder.feed_fold dec s ~init:() ~f:(fun () fr ->
@@ -133,17 +340,32 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
   in
   let handle_chunk c s =
     match c.codec with
-    | Undecided b ->
+    | Undecided b -> (
         Buffer.add_string b s;
         if Buffer.length b >= 2 then begin
           let buffered = Buffer.contents b in
-          c.codec <-
-            (match Frame.detect buffered with
-            | Transport.Binary ->
-                Bin (Frame.Decoder.create (), Frame.Encoder.create ())
-            | Transport.Line -> Txt (Transport.Text.decoder ()));
-          process c buffered
-        end
+          match Frame.detect buffered with
+          | Transport.Binary ->
+              c.codec <-
+                Bin
+                  ( Frame.Decoder.create ~max_version:version (),
+                    Frame.Encoder.create () );
+              process c buffered
+          | Transport.Line -> (
+              match http_method_prefix buffered with
+              | None -> () (* "GET" so far — could still be either *)
+              | Some `No ->
+                  c.codec <- Txt (Transport.Text.decoder ());
+                  process c buffered
+              | Some (`Get | `Head) ->
+                  let hb = Buffer.create 256 in
+                  Buffer.add_string hb buffered;
+                  c.codec <- Http hb;
+                  try_http c hb)
+        end)
+    | Http hb ->
+        Buffer.add_string hb s;
+        try_http c hb
     | Bin _ | Txt _ -> process c s
   in
   let handle_eof c =
@@ -156,6 +378,7 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
         match Frame.Decoder.finish dec with
         | Ok () -> ()
         | Error _ -> Metrics.incr c_decode_err)
+    | Http _ -> () (* hung up before finishing the request head *)
     | Undecided b when Buffer.length b > 0 -> (
         (* a text stream shorter than the two detect bytes *)
         let dec = Transport.Text.decoder () in
@@ -232,7 +455,7 @@ let serve ~socket ?(name = "node") ?shards ?queue_capacity ?keep_verdicts
       | Bin (_, enc) -> (
           try reply enc c (Frame.Summary node_summary)
           with Unix.Unix_error _ -> ())
-      | Txt _ | Undecided _ -> ());
+      | Txt _ | Undecided _ | Http _ -> ());
       close_conn c)
   | None -> ());
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;

@@ -4,10 +4,18 @@
     One single-threaded [select] loop accepts connections and feeds
     their bytes to the daemon's (single-acceptor) ingest path; scoring
     still happens on the daemon's own worker domains. Each connection
-    autodetects its wire format from the first two bytes ({!Frame.magic}
-    → binary frames, anything else → the {!Transport.Text} line format),
-    so `nc` with a text record file and the binary {!Cluster.Router} both
-    work against the same port.
+    autodetects its wire format from its first bytes: {!Frame.magic} →
+    binary frames, a [GET]/[HEAD] method name → plain HTTP, anything
+    else → the {!Transport.Text} line format — so `nc` with a text
+    record file, the binary {!Cluster.Router} and `curl` all work
+    against the same port.
+
+    The HTTP side is the node's operations plane (one request per
+    connection, then close): [GET /metrics] answers the Prometheus text
+    exposition ({!Metrics.dump}), [GET /healthz] the {!Health} report as
+    JSON (status 503 when [Unhealthy], 200 otherwise), and
+    [GET /incidents?n=K] the newest [K] incidents of the {!Alerts} log
+    as JSON. Requests are counted in [adprom_http_requests_total].
 
     Binary connections speak the full {!Frame} protocol: [Hello] is
     answered with the node's version and name, [Call]/[Query] frames are
@@ -33,6 +41,7 @@ val bind : ?backlog:int -> ?host:string -> int -> Unix.file_descr * int
 val serve :
   socket:Unix.file_descr ->
   ?name:string ->
+  ?version:int ->
   ?shards:int ->
   ?queue_capacity:int ->
   ?keep_verdicts:bool ->
@@ -49,4 +58,12 @@ val serve :
     until a [Bye] frame arrives, then drain and return the node's
     outcome — the same shape {!Replay.run} yields, so the CLI prints
     both identically. [name] (default ["node"]) is what the node calls
-    itself in [Hello] and [Summary] frames. *)
+    itself in [Hello] and [Summary] frames.
+
+    [version] (default {!Frame.protocol_version}) caps the node's wire
+    version: the decoder rejects newer-stamped frames and the hello
+    reply announces it, so [~version:1] reproduces an old build's
+    behaviour for version-skew testing. A clock sample rides on the
+    hello reply only when both sides speak ≥ 2.
+    @raise Invalid_argument when [version] is outside
+    [1..Frame.protocol_version]. *)

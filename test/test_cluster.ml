@@ -159,11 +159,58 @@ let roundtrip_frame f =
   | Ok fs -> Alcotest.failf "expected one frame, got %d" (List.length fs)
 
 let test_control_frames () =
-  roundtrip_frame (Frame.Hello { version = 1; peer = "router" });
+  roundtrip_frame (Frame.Hello { version = 1; peer = "router"; sample = None });
+  roundtrip_frame
+    (Frame.Hello
+       { version = 2; peer = "router"; sample = Some (123_456_789L, 987_654_321L) });
   roundtrip_frame (Frame.Ack { count = 123_456 });
   roundtrip_frame Frame.Metrics_req;
   roundtrip_frame (Frame.Metrics_resp "adprom_events_ingested_total 42\n");
   roundtrip_frame Frame.Bye;
+  roundtrip_frame (Frame.Clock_probe { seq = 7 });
+  roundtrip_frame
+    (Frame.Clock_reply { seq = 7; mono_ns = 55_123_000L; wall_ns = 1_700_000_000_000_000_000L });
+  roundtrip_frame
+    (Frame.Trace_mark { trace_id = 42; send_mono_ns = 99_000L; offset_ns = -12_345L });
+  roundtrip_frame Frame.Health_req;
+  roundtrip_frame
+    (Frame.Health_resp
+       {
+         Frame.h_node = "alpha";
+         h_status = Adprom_service.Health.Degraded;
+         h_snapshot =
+           {
+             Adprom_service.Metrics.counters = [ ("adprom_events_offered_total", 10) ];
+             gauges = [ ("adprom_queue_depth_shard0", 3, 7) ];
+             histograms =
+               [
+                 {
+                   Adprom_service.Metrics.hs_name = "adprom_e2e_latency_seconds";
+                   hs_bounds = [| 0.001; 0.1 |];
+                   hs_buckets = [| 2; 1; 0 |];
+                   hs_sum = 0.0521;
+                   hs_count = 3;
+                 };
+               ];
+           };
+         h_incidents = [ (97, "verdict out-of-context ...") ];
+         h_uptime_s = 12.5;
+       });
+  roundtrip_frame Frame.Spans_req;
+  roundtrip_frame
+    (Frame.Spans_resp
+       [
+         {
+           Adprom_obs.Trace.name = "wire.batch";
+           trace_id = 42;
+           span_id = 43;
+           parent = None;
+           domain = 0;
+           start_ns = 1_000L;
+           dur_ns = 2_500L;
+           attrs = [ ("items", "12") ];
+         };
+       ]);
   let verdicts =
     [
       { Detector.flag = Detector.Normal; score = -1.234567890123; unknown_symbol = false; unknown_pair = None };

@@ -1,0 +1,462 @@
+(* Tests for the cluster operations plane: the HTTP exposition served
+   on the same port as both wires (/metrics, /healthz, /incidents), the
+   fleet health rollup (merge_snapshots as a QCheck2 property against a
+   manual fold), version skew (a new router against an old node keeps
+   verdicts bit-for-bit), log-file rotation, and the multi-process
+   Chrome trace merge. *)
+
+module Codec = Adprom_service.Codec
+module Transport = Adprom_service.Transport
+module Frame = Adprom_service.Frame
+module Server = Adprom_service.Server
+module Cluster = Adprom_service.Cluster
+module Daemon = Adprom_service.Daemon
+module Replay = Adprom_service.Replay
+module Metrics = Adprom_service.Metrics
+module Health = Adprom_service.Health
+module Log = Adprom_obs.Log
+module Trace = Adprom_obs.Trace
+module Detector = Adprom.Detector
+module Pipeline = Adprom.Pipeline
+module Sessions = Adprom.Sessions
+module Symbol = Analysis.Symbol
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if (not !found) && String.sub hay i nl = needle then found := true
+    done;
+    !found
+  end
+
+let count ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let c = ref 0 in
+  if nl > 0 then
+    for i = 0 to hl - nl do
+      if String.sub hay i nl = needle then incr c
+    done;
+  !c
+
+(* --- fixture: the same tiny trained app the cluster tests use -------------- *)
+
+let fixture =
+  lazy
+    (let app =
+       {
+         Pipeline.name = "svc";
+         source =
+           {|
+             fun main() {
+               let db = db_connect("pg");
+               let n = atoi(gets());
+               for (let i = 0; i < n; i = i + 1) {
+                 let r = pq_exec(db, "SELECT name FROM t");
+                 let k = pq_ntuples(r);
+                 for (let j = 0; j < k; j = j + 1) { printf("%s\n", pq_getvalue(r, j, 0)); }
+               }
+             }
+           |};
+         dbms = "PostgreSQL";
+         setup_db =
+           (fun e ->
+             ignore (Sqldb.Engine.exec e "CREATE TABLE t (name)");
+             ignore (Sqldb.Engine.exec e "INSERT INTO t VALUES ('a'), ('b')"));
+         test_cases =
+           List.init 6 (fun i ->
+               Runtime.Testcase.make
+                 ~input:[ string_of_int (1 + (i mod 3)) ]
+                 (Printf.sprintf "c%d" i));
+       }
+     in
+     let ds = Pipeline.collect app in
+     (Pipeline.train ds, List.map snd ds.Pipeline.traces))
+
+let stream_items () =
+  let _, traces = Lazy.force fixture in
+  let rng = Mlkit.Rng.create 41 in
+  Array.map (fun ev -> Transport.Call ev) (Sessions.interleave ~rng traces)
+
+(* --- HTTP exposition on the serve port -------------------------------------- *)
+
+(* one raw request, read to EOF (the server closes after each response) *)
+let http_request ~port request =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let b = Bytes.of_string request in
+  let rec write_all pos =
+    if pos < Bytes.length b then
+      write_all (pos + Unix.write fd b pos (Bytes.length b - pos))
+  in
+  write_all 0;
+  let buf = Buffer.create 1024 and chunk = Bytes.create 4096 in
+  let rec read_all () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        read_all ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  read_all ();
+  Unix.close fd;
+  Buffer.contents buf
+
+let http_get ~port target =
+  http_request ~port
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" target)
+
+let status_of_response resp =
+  match String.index_opt resp ' ' with
+  | Some i when String.length resp >= i + 4 ->
+      int_of_string_opt (String.sub resp (i + 1) 3)
+  | _ -> None
+
+let body_of_response resp =
+  let rec find i =
+    if i + 3 >= String.length resp then String.length resp
+    else if String.sub resp i 4 = "\r\n\r\n" then i + 4
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub resp i (String.length resp - i)
+
+let check_status what expected resp =
+  Alcotest.(check (option int)) (what ^ " status") (Some expected)
+    (status_of_response resp)
+
+let test_http_endpoints () =
+  let profile, _ = Lazy.force fixture in
+  let node =
+    Cluster.spawn_local ~name:"web" (fun socket ->
+        ignore (Server.serve ~socket ~name:"web" ~shards:2 profile))
+  in
+  let port = node.Cluster.port in
+  (* /healthz: a fresh node is healthy, and the body is the Health JSON *)
+  let hz = http_get ~port "/healthz" in
+  check_status "/healthz" 200 hz;
+  Alcotest.(check bool) "/healthz content-type json" true
+    (contains ~needle:"Content-Type: application/json" hz);
+  let hz_body = body_of_response hz in
+  Alcotest.(check bool) "/healthz says ok" true
+    (contains ~needle:"\"status\":\"ok\"" hz_body);
+  Alcotest.(check bool) "/healthz names the node" true
+    (contains ~needle:"\"node\":\"web\"" hz_body);
+  (* /metrics: Prometheus text with the HELP/TYPE preamble and the full
+     cumulative bucket series of the e2e histogram *)
+  let m = http_get ~port "/metrics" in
+  check_status "/metrics" 200 m;
+  let mb = body_of_response m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "/metrics has %S" needle)
+        true (contains ~needle mb))
+    [
+      "# TYPE adprom_e2e_latency_seconds histogram";
+      "adprom_e2e_latency_seconds_bucket{le=\"+Inf\"}";
+      "# TYPE adprom_queue_wait_seconds histogram";
+      "# TYPE adprom_http_requests_total counter";
+    ];
+  (* /incidents: a JSON tail, empty on a quiet node *)
+  let inc = http_get ~port "/incidents?n=5" in
+  check_status "/incidents" 200 inc;
+  Alcotest.(check bool) "/incidents is a JSON tail" true
+    (contains ~needle:"\"incidents\":[" (body_of_response inc));
+  (* error paths: unknown target and a bad n= *)
+  check_status "unknown path" 404 (http_get ~port "/nope");
+  check_status "bad n=" 400 (http_get ~port "/incidents?n=bogus");
+  (* HEAD answers the header only *)
+  let head =
+    http_request ~port "HEAD /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n"
+  in
+  check_status "HEAD /healthz" 200 head;
+  Alcotest.(check string) "HEAD body empty" "" (body_of_response head);
+  (* the binary wire still works on the same port: drain via a router *)
+  let peers =
+    [ { Cluster.peer_name = "web"; host = "127.0.0.1"; port } ]
+  in
+  (match Cluster.Router.connect peers with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok router -> (
+      match Cluster.Router.finish router with
+      | Error e -> Alcotest.failf "finish: %s" e
+      | Ok _ -> ()));
+  Cluster.wait_local node
+
+(* --- fleet rollup = manual fold (QCheck2) ------------------------------------ *)
+
+let hist_bounds = [| 0.1; 1.0 |]
+
+let gen_snapshot =
+  QCheck2.Gen.(
+    let gauge =
+      map
+        (fun (v, extra) -> ("g_depth", v, v + extra))
+        (pair (int_range 0 1000) (int_range 0 1000))
+    in
+    let hist =
+      map
+        (fun (b, s) ->
+          {
+            Metrics.hs_name = "h_lat";
+            hs_bounds = hist_bounds;
+            hs_buckets = Array.of_list b;
+            hs_sum = float_of_int s /. 16.;
+            hs_count = List.fold_left ( + ) 0 b;
+          })
+        (pair
+           (flatten_l [ int_range 0 50; int_range 0 50; int_range 0 50 ])
+           (int_range 0 1000))
+    in
+    map3
+      (fun (a, b) g h ->
+        {
+          (* -1 = the counter is absent on this node *)
+          Metrics.counters =
+            (if a < 0 then [] else [ ("a_total", a) ])
+            @ (if b < 0 then [] else [ ("b_total", b) ]);
+          gauges = [ g ];
+          histograms = [ h ];
+        })
+      (pair (int_range (-1) 10_000) (int_range (-1) 10_000))
+      gauge hist)
+
+let prop_rollup_equals_fold =
+  QCheck2.Test.make ~name:"fleet rollup = manual per-metric fold" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 5) gen_snapshot)
+    (fun snaps ->
+      let merged = Metrics.merge_snapshots snaps in
+      (* counters sum by name *)
+      let sum name =
+        List.fold_left
+          (fun acc (s : Metrics.snapshot) ->
+            acc + Metrics.snapshot_counter s name)
+          0 snaps
+      in
+      List.iter
+        (fun name ->
+          let expect = sum name in
+          let present =
+            List.exists
+              (fun (s : Metrics.snapshot) ->
+                List.mem_assoc name s.Metrics.counters)
+              snaps
+          in
+          let got = Metrics.snapshot_counter merged name in
+          if present && got <> expect then
+            QCheck2.Test.fail_reportf "counter %s: %d <> %d" name got expect;
+          if (not present) && List.mem_assoc name merged.Metrics.counters then
+            QCheck2.Test.fail_reportf "counter %s materialized from nothing" name)
+        [ "a_total"; "b_total" ];
+      (* gauges and watermarks take the max *)
+      let gv, gm =
+        List.fold_left
+          (fun (gv, gm) (s : Metrics.snapshot) ->
+            List.fold_left
+              (fun (gv, gm) (n, v, m) ->
+                if n = "g_depth" then (max gv v, max gm m) else (gv, gm))
+              (gv, gm) s.Metrics.gauges)
+          (min_int, min_int) snaps
+      in
+      (match
+         List.find_opt (fun (n, _, _) -> n = "g_depth") merged.Metrics.gauges
+       with
+      | None -> QCheck2.Test.fail_reportf "gauge lost in merge"
+      | Some (_, v, m) ->
+          if (v, m) <> (gv, gm) then
+            QCheck2.Test.fail_reportf "gauge fold: (%d,%d) <> (%d,%d)" v m gv gm);
+      (* histograms add bucket-wise, so fleet quantiles come from the
+         merged buckets *)
+      let buckets =
+        List.fold_left
+          (fun acc (s : Metrics.snapshot) ->
+            match Metrics.snapshot_histogram s "h_lat" with
+            | None -> acc
+            | Some h ->
+                Array.mapi (fun i b -> b + h.Metrics.hs_buckets.(i)) acc)
+          [| 0; 0; 0 |] snaps
+      in
+      match Metrics.snapshot_histogram merged "h_lat" with
+      | None -> QCheck2.Test.fail_reportf "histogram lost in merge"
+      | Some h ->
+          if h.Metrics.hs_buckets <> buckets then
+            QCheck2.Test.fail_reportf "bucket fold mismatch";
+          if h.Metrics.hs_count <> Array.fold_left ( + ) 0 buckets then
+            QCheck2.Test.fail_reportf "count fold mismatch";
+          let manual =
+            { h with Metrics.hs_buckets = buckets }
+          in
+          List.for_all
+            (fun q ->
+              let a = Metrics.hist_quantile h q
+              and b = Metrics.hist_quantile manual q in
+              a = b || (Float.is_nan a && Float.is_nan b))
+            [ 0.5; 0.9; 0.99 ])
+
+(* --- version skew: new router, old node -------------------------------------- *)
+
+let verdict_key (v : Detector.verdict) =
+  ( v.Detector.flag,
+    Int64.bits_of_float v.Detector.score,
+    v.Detector.unknown_symbol,
+    v.Detector.unknown_pair )
+
+let session_key (r : Daemon.session_report) =
+  ( r.Daemon.session,
+    r.Daemon.events,
+    r.Daemon.windows,
+    r.Daemon.worst,
+    List.map verdict_key r.Daemon.verdicts )
+
+let test_version_skew () =
+  let profile, _ = Lazy.force fixture in
+  let items = stream_items () in
+  (* alpha reproduces an old (v1) build; beta speaks the current wire *)
+  let node ~version name =
+    Cluster.spawn_local ~name (fun socket ->
+        ignore (Server.serve ~socket ~name ~version ~shards:2 profile))
+  in
+  let a = node ~version:1 "alpha" and b = node ~version:2 "beta" in
+  let peers =
+    [
+      { Cluster.peer_name = "alpha"; host = "127.0.0.1"; port = a.Cluster.port };
+      { Cluster.peer_name = "beta"; host = "127.0.0.1"; port = b.Cluster.port };
+    ]
+  in
+  let summaries =
+    match Cluster.Router.connect peers with
+    | Error e -> Alcotest.failf "connect: %s" e
+    | Ok router -> (
+        Alcotest.(check (list (pair string int)))
+          "negotiated versions"
+          [ ("alpha", 1); ("beta", 2) ]
+          (Cluster.Router.peer_versions router);
+        (match Cluster.Router.send_stream router items with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "send: %s" e);
+        (* v2-only surfaces skip the old node instead of killing it *)
+        (match Cluster.Router.clock_sync router with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "clock_sync: %s" e);
+        (match Cluster.Router.health router with
+        | Error e -> Alcotest.failf "health: %s" e
+        | Ok nodes ->
+            Alcotest.(check (list string))
+              "only the v2 node answers health" [ "beta" ] (List.map fst nodes));
+        Alcotest.(check int) "no items lost" 0 (Cluster.Router.lost_items router);
+        match Cluster.Router.finish router with
+        | Error e -> Alcotest.failf "finish: %s" e
+        | Ok summaries -> summaries)
+  in
+  Cluster.wait_local a;
+  Cluster.wait_local b;
+  let merged = Cluster.merge summaries in
+  let single = Replay.run_items ~shards:2 profile items in
+  Alcotest.(check bool) "verdicts bit-for-bit across the skew" true
+    (List.map session_key single.Replay.summary.Daemon.sessions
+    = List.map session_key merged.Frame.summary.Daemon.sessions)
+
+(* --- log rotation ------------------------------------------------------------- *)
+
+let test_log_rotation () =
+  let path = Filename.temp_file "adprom_ops_log" ".jsonl" in
+  let old_threshold = Log.threshold () in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink Log.Null;
+      Log.set_threshold old_threshold;
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".1" ])
+    (fun () ->
+      Alcotest.check_raises "zero budget rejected"
+        (Invalid_argument "Log.to_file: max_bytes must be > 0") (fun () ->
+          Log.to_file ~max_bytes:0 path);
+      Log.set_threshold Log.Info;
+      Log.to_file ~max_bytes:2048 path;
+      for i = 1 to 200 do
+        Log.emit Log.Info ~scope:"ops.test"
+          (Printf.sprintf "rotation filler line %04d padding-padding-padding" i)
+      done;
+      Log.set_sink Log.Null;
+      let size p = (Unix.stat p).Unix.st_size in
+      Alcotest.(check bool) "rotated generation exists" true
+        (Sys.file_exists (path ^ ".1"));
+      Alcotest.(check bool) "live file within budget" true (size path <= 2048);
+      Alcotest.(check bool) "rotated file within budget" true
+        (size (path ^ ".1") <= 2048);
+      (* no line was torn across the rollover: every line in both
+         generations parses back to its message *)
+      List.iter
+        (fun p ->
+          let ic = open_in p in
+          (try
+             while true do
+               let line = input_line ic in
+               if not (contains ~needle:"rotation filler line" line) then
+                 Alcotest.failf "torn line in %s: %s" p line
+             done
+           with End_of_file -> ());
+          close_in ic)
+        [ path; path ^ ".1" ])
+
+(* --- cluster Chrome trace merge ----------------------------------------------- *)
+
+let mk_span ?(attrs = []) name start_ns =
+  {
+    Trace.name;
+    trace_id = 7;
+    span_id = 8;
+    parent = None;
+    domain = 0;
+    start_ns;
+    dur_ns = 10_000L;
+    attrs;
+  }
+
+let test_chrome_cluster_merge () =
+  (* the node's clock runs 1ms ahead (offset = local - reference), so
+     its 3ms span aligns exactly onto the router's 2ms span *)
+  let groups =
+    [
+      ("router", 0L, [ mk_span "route.batch" 2_000_000L ]);
+      ("alpha", 1_000_000L, [ mk_span "wire.batch" 3_000_000L ]);
+    ]
+  in
+  let json = Trace.to_chrome_json_cluster groups in
+  Alcotest.(check int) "one process_name metadata event per group" 2
+    (count ~needle:"\"process_name\"" json);
+  Alcotest.(check bool) "groups are distinct pids" true
+    (contains ~needle:"\"pid\":1" json && contains ~needle:"\"pid\":2" json);
+  Alcotest.(check bool) "names survive" true
+    (contains ~needle:"\"router\"" json && contains ~needle:"\"alpha\"" json);
+  Alcotest.(check int) "offset-aligned spans share the epoch" 2
+    (count ~needle:"\"ts\":0.000" json);
+  (* no groups at all still renders a valid (empty) trace *)
+  Alcotest.(check bool) "empty merge renders" true
+    (contains ~needle:"traceEvents" (Trace.to_chrome_json_cluster []))
+
+let () =
+  Alcotest.run "ops"
+    [
+      ( "http",
+        [ Alcotest.test_case "exposition endpoints" `Quick test_http_endpoints ] );
+      ( "rollup",
+        [ QCheck_alcotest.to_alcotest prop_rollup_equals_fold ] );
+      ( "skew",
+        [
+          Alcotest.test_case "new router, old node, verdicts pinned" `Quick
+            test_version_skew;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "file sink rotation" `Quick test_log_rotation ] );
+      ( "trace",
+        [
+          Alcotest.test_case "cluster merge aligns clocks" `Quick
+            test_chrome_cluster_merge;
+        ] );
+    ]

@@ -341,11 +341,15 @@ let test_metrics_registry () =
         true
         (contains ~needle dump))
     [
+      "# TYPE requests_total counter";
       "requests_total 5";
+      "# TYPE depth gauge";
       "depth 3";
       "depth_max 7";
+      "# TYPE lat histogram";
       "lat_bucket{le=\"0.1\"} 2";
-      "lat_bucket{le=\"+inf\"} 4";
+      "lat_bucket{le=\"1\"} 3";
+      "lat_bucket{le=\"+Inf\"} 4";
       "lat_count 4";
     ];
   (* name collisions across types are programming errors *)
@@ -366,12 +370,21 @@ let test_metrics_dump_sorted_golden () =
   Metrics.observe h 0.05;
   Metrics.observe h 10.0;
   let expected =
-    "a_depth 2\n\
+    "# HELP a_depth a_depth\n\
+     # TYPE a_depth gauge\n\
+     a_depth 2\n\
+     # HELP a_depth_max a_depth_max\n\
+     # TYPE a_depth_max gauge\n\
      a_depth_max 5\n\
+     # HELP m_lat m_lat\n\
+     # TYPE m_lat histogram\n\
      m_lat_bucket{le=\"0.1\"} 1\n\
-     m_lat_bucket{le=\"+inf\"} 2\n\
+     m_lat_bucket{le=\"1\"} 1\n\
+     m_lat_bucket{le=\"+Inf\"} 2\n\
      m_lat_sum 10.05\n\
      m_lat_count 2\n\
+     # HELP z_total z_total\n\
+     # TYPE z_total counter\n\
      z_total 2\n"
   in
   Alcotest.(check string) "golden sorted dump" expected (Metrics.dump m)
