@@ -26,6 +26,7 @@ let experiments =
     ("vet", Exp_vet.run);
     ("seqauto", Exp_seqauto.run);
     ("qsig", Exp_qsig.run);
+    ("qstatic", Exp_qstatic.run);
     ("drift", Exp_operations.drift);
     ("profile-size", Exp_profile_size.run);
     ("ablation-cluster", Exp_ablation.cluster);

@@ -98,26 +98,48 @@ let collect_app_files paths =
       else [ path ])
     paths
 
-let vet_one ~entry ~profile path =
+let vet_one ~entry ~profile ~qsig_signatures path =
   let module Diag = Analysis.Diag in
   match Applang.Parser.parse_program (read_file path) with
   | exception e ->
       [ Diag.make Diag.Error ~code:"parse-error" (Printexc.to_string e) ]
   | program -> (
+      (* the query-axis cross-check rides along when a trained qsig
+         profile was given: its signatures against the statically
+         inferable set *)
+      let qsig_diags sq =
+        match qsig_signatures with
+        | None -> []
+        | Some trained ->
+            Analysis.Vet.check_qsig_coverage ~static_queries:sq
+              ~trained_signatures:trained
+      in
       match profile with
       | None ->
           let cfgs, _sites = Analysis.Cfg_build.build_program program in
           (* labeling is irrelevant to the program checks but keeps the
              CFGs in the same state `analyze` would leave them *)
           ignore (Analysis.Taint.analyze cfgs);
-          Analysis.Vet.check_program ~entry cfgs
+          let sq = Analysis.Qstatic.infer ~entry cfgs in
+          List.sort Diag.compare
+            (Analysis.Vet.check_program ~entry ~static_queries:sq cfgs
+            @ qsig_diags sq)
       | Some p -> (
           match Analysis.Analyzer.analyze ~entry program with
           | exception Invalid_argument msg ->
               [ Diag.make Diag.Error ~code:"analysis-error" msg ]
-          | analysis -> Adprom.Profile_check.check ~entry p analysis))
+          | analysis ->
+              let qdiags =
+                if qsig_signatures = None then []
+                else
+                  qsig_diags
+                    (Analysis.Qstatic.infer ~entry
+                       analysis.Analysis.Analyzer.pruned_cfgs)
+              in
+              List.sort Diag.compare
+                (Adprom.Profile_check.check ~entry p analysis @ qdiags)))
 
-let vet_cmd_run paths format strict entry profile_path =
+let vet_cmd_run paths format strict entry profile_path qsig_profile_path =
   let module Diag = Analysis.Diag in
   let module Json = Adprom_obs.Json in
   let profile =
@@ -128,13 +150,27 @@ let vet_cmd_run paths format strict entry profile_path =
         | Ok pr -> Ok (Some pr)
         | Error e -> Error e)
   in
-  match profile with
-  | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
-  | Ok profile -> (
+  let qsig_signatures =
+    match qsig_profile_path with
+    | None -> Ok None
+    | Some p -> (
+        match Adprom_qsig.Profile.load p with
+        | Ok qp -> Ok (Some (Adprom_qsig.Profile.signatures qp))
+        | Error e -> Error e)
+  in
+  match (profile, qsig_signatures) with
+  | Error msg, _ -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
+  | _, Error msg ->
+      `Error (false, Printf.sprintf "cannot load qsig profile: %s" msg)
+  | Ok profile, Ok qsig_signatures -> (
       match collect_app_files paths with
       | [] -> `Error (false, "no AppLang (.app) files to vet")
       | files ->
-          let results = List.map (fun f -> (f, vet_one ~entry ~profile f)) files in
+          let results =
+            List.map
+              (fun f -> (f, vet_one ~entry ~profile ~qsig_signatures f))
+              files
+          in
           (match format with
           | `Text ->
               List.iter
@@ -152,13 +188,15 @@ let vet_cmd_run paths format strict entry profile_path =
                     ("summary", Json.string (Diag.summary diags));
                     ("errors", string_of_int (List.length (Diag.errors diags)));
                     ("warnings", string_of_int (List.length (Diag.warnings diags)));
+                    ("hints", string_of_int (List.length (Diag.hints diags)));
                     ( "diagnostics",
                       "[" ^ String.concat "," (List.map Diag.to_json diags) ^ "]" );
                   ]
               in
               print_endline ("[" ^ String.concat ",\n" (List.map file_json results) ^ "]"));
           let all = List.concat_map snd results in
-          if Diag.errors all <> [] || (strict && all <> []) then
+          (* hints never fail, not even under --strict *)
+          if Diag.errors all <> [] || (strict && Diag.warnings all <> []) then
             `Error (false, Printf.sprintf "vet failed: %s" (Diag.summary all))
           else `Ok ())
 
@@ -195,18 +233,31 @@ let vet_profile_path_arg =
            known (caller, call) pairs must be statically reachable, and reachable \
            behaviour the profile never saw is reported as a training gap.")
 
+let vet_qsig_profile_path_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "qsig-profile" ] ~docv:"FILE"
+        ~doc:
+          "Also cross-check a trained query-signature profile (see `adprom qsig \
+           train`) against the statically inferable signature set: trained \
+           signatures the program cannot emit are errors, emittable signatures \
+           never observed in training are hints.")
+
 let vet_cmd =
   Cmd.v
     (Cmd.info "vet"
        ~doc:
          "Statically verify AppLang programs: dead code, use-before-init, undefined \
-          callees, loops with no reachable exit — and, with $(b,--profile), profile \
-          coverage against the statically possible behaviour. Exits non-zero on \
-          errors (with $(b,--strict): on any finding).")
+          callees, loops with no reachable exit, SQL call sites where untrusted \
+          input reaches query structure — and, with $(b,--profile) or \
+          $(b,--qsig-profile), profile coverage against the statically possible \
+          behaviour. Exits non-zero on errors (with $(b,--strict): on warnings \
+          too; hints never fail).")
     Term.(
       ret
         (const vet_cmd_run $ vet_paths_arg $ vet_format_arg $ strict_flag $ entry_arg
-       $ vet_profile_path_arg))
+       $ vet_profile_path_arg $ vet_qsig_profile_path_arg))
 
 (* --- run --------------------------------------------------------------- *)
 
@@ -466,6 +517,19 @@ let qsig_profile_path_arg =
     & info [ "qsig-profile" ] ~docv:"FILE"
         ~doc:"Trained query-signature profile (see `adprom qsig train`).")
 
+let qsig_static_gate_arg =
+  Arg.(
+    value
+    & opt static_gate_conv Service.Daemon.Gate_explain
+    & info [ "qsig-static-gate" ] ~docv:"MODE"
+        ~doc:
+          "Static query-signature gate over the query axis (needs a vetted \
+           program and an armed $(b,--qsig)): $(b,off), $(b,explain) (infer the \
+           program's emittable signature set, count gate checks and would-be \
+           rejections, query verdicts unchanged), or $(b,enforce) (a query whose \
+           signature the program provably cannot emit short-circuits to an \
+           anomalous verdict before constraint checking).")
+
 (* --- observability flags (shared by replay / serve) -------------------- *)
 
 let trace_out_arg =
@@ -694,8 +758,8 @@ let record_cmd =
        $ wire_arg))
 
 let replay_cmd_run profile_path events_path shards capacity verify vet_program
-    vet_policy static_gate qsig_mode qsig_profile_path log_level log_tail
-    trace_out =
+    vet_policy static_gate qsig_mode qsig_profile_path qsig_static_gate
+    log_level log_tail trace_out =
   obs_setup log_level trace_out;
   match Adprom.Profile_io.load profile_path with
   | Error msg -> `Error (false, Printf.sprintf "cannot load profile: %s" msg)
@@ -743,7 +807,7 @@ let replay_cmd_run profile_path events_path shards capacity verify vet_program
             | _ ->
                 Service.Replay.run_items ~shards ~queue_capacity:capacity
                   ?vet_against ~vet_policy ~static_gate ~qsig_mode ?qsig_profile
-                  profile items
+                  ~qsig_static_gate profile items
           with
           | exception Invalid_argument msg -> `Error (false, msg)
           | outcome ->
@@ -799,11 +863,12 @@ let replay_cmd =
       ret
         (const replay_cmd_run $ profile_arg $ events_file_arg $ shards_arg $ capacity_arg
        $ verify_flag $ vet_program_arg $ vet_policy_arg $ static_gate_arg
-       $ qsig_mode_arg $ qsig_profile_path_arg $ log_level_arg
-       $ log_tail_arg $ trace_out_arg))
+       $ qsig_mode_arg $ qsig_profile_path_arg $ qsig_static_gate_arg
+       $ log_level_arg $ log_tail_arg $ trace_out_arg))
 
 let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
-    listen node_name log_level log_file log_max_bytes log_tail trace_out =
+    qsig_static_gate listen node_name log_level log_file log_max_bytes log_tail
+    trace_out =
   match obs_setup ?log_file ?log_max_bytes log_level trace_out with
   | exception Invalid_argument msg -> `Error (false, msg)
   | () -> (
@@ -828,7 +893,7 @@ let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
             Service.Server.serve ~socket ~name:node_name ~shards
               ~queue_capacity:capacity ~vet_against:analysis ~vet_policy
               ~static_gate ~qsig_mode ~qsig_profile:(Adprom.Qsig.profile qsig)
-              profile
+              ~qsig_static_gate profile
           with
           | exception Invalid_argument msg -> `Error (false, msg)
           | outcome ->
@@ -918,7 +983,8 @@ let serve_cmd_run app_name shards capacity seed vet_policy static_gate qsig_mode
       match
         Service.Replay.run_items ~shards ~queue_capacity:capacity ~alerts
           ~vet_against:analysis ~vet_policy ~static_gate ~qsig_mode
-          ~qsig_profile:(Adprom.Qsig.profile qsig) profile items
+          ~qsig_profile:(Adprom.Qsig.profile qsig) ~qsig_static_gate profile
+          items
       with
       | exception Invalid_argument msg -> `Error (false, msg)
       | outcome ->
@@ -954,9 +1020,9 @@ let serve_cmd =
     Term.(
       ret
         (const serve_cmd_run $ app_arg $ shards_arg $ capacity_arg $ seed_arg
-       $ vet_policy_arg $ static_gate_arg $ qsig_mode_arg $ listen_arg
-       $ node_name_arg $ log_level_arg $ log_file_arg $ log_max_bytes_arg
-       $ log_tail_arg $ trace_out_arg))
+       $ vet_policy_arg $ static_gate_arg $ qsig_mode_arg $ qsig_static_gate_arg
+       $ listen_arg $ node_name_arg $ log_level_arg $ log_file_arg
+       $ log_max_bytes_arg $ log_tail_arg $ trace_out_arg))
 
 (* --- route: spray a recorded stream across serve nodes ----------------- *)
 

@@ -1,7 +1,7 @@
 fun main() {
   let conn = db_connect("mysql");
-  let acc = to_string(atoi(scanf()));
-  let q = strcat("SELECT * FROM clients WHERE id='", strcat(acc, "';"));
+  let acc = scanf();
+  let q = strcat("SELECT name, balance FROM clients WHERE id='", strcat(acc, "'"));
   if (mysql_query(conn, q) != 0) {
     printf("query error\n");
     exit();
@@ -9,12 +9,7 @@ fun main() {
   let res = mysql_store_result(conn);
   let row = mysql_fetch_row(res);
   while (row != null) {
-    printf("%s\n", row[0]);
+    printf("%s %s\n", row[0], row[1]);
     row = mysql_fetch_row(res);
   }
-  report(row);
-}
-
-fun report(last) {
-  printf("done %s\n", last);
 }

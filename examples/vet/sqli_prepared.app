@@ -1,0 +1,11 @@
+fun main() {
+  let conn = db_connect("mysql");
+  let acc = scanf();
+  let stmt = mysql_prepare(conn, "SELECT name, balance FROM clients WHERE id = ?");
+  let res = mysql_stmt_execute(conn, stmt, acc);
+  let row = mysql_fetch_row(res);
+  while (row != null) {
+    printf("%s %s\n", row[0], row[1]);
+    row = mysql_fetch_row(res);
+  }
+}

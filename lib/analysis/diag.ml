@@ -1,4 +1,4 @@
-type severity = Error | Warning
+type severity = Error | Warning | Hint
 
 type t = {
   severity : severity;
@@ -11,9 +11,9 @@ type t = {
 let make ?(func = "") ?block severity ~code message =
   { severity; code; func; block; message }
 
-let severity_to_string = function Error -> "error" | Warning -> "warning"
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Hint -> "hint"
 
-let severity_rank = function Error -> 0 | Warning -> 1
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
 
 (* Position first so a report reads like the source: program-level
    findings ([func = ""]) lead, then per-function findings grouped by
@@ -34,6 +34,7 @@ let compare a b =
 
 let errors l = List.filter (fun d -> d.severity = Error) l
 let warnings l = List.filter (fun d -> d.severity = Warning) l
+let hints l = List.filter (fun d -> d.severity = Hint) l
 
 let anchor d =
   match (d.func, d.block) with
@@ -57,11 +58,13 @@ let to_json d =
     ]
 
 let summary l =
-  let e = List.length (errors l) and w = List.length (warnings l) in
-  if e = 0 && w = 0 then "clean"
+  let e = List.length (errors l)
+  and w = List.length (warnings l)
+  and h = List.length (hints l) in
+  if e = 0 && w = 0 && h = 0 then "clean"
   else
     let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
-    match (e, w) with
-    | 0, w -> plural w "warning"
-    | e, 0 -> plural e "error"
-    | e, w -> plural e "error" ^ ", " ^ plural w "warning"
+    List.filter_map
+      (fun (n, word) -> if n = 0 then None else Some (plural n word))
+      [ (e, "error"); (w, "warning"); (h, "hint") ]
+    |> String.concat ", "

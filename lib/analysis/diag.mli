@@ -6,7 +6,12 @@
     JSON; the serving layer counts them and can refuse a profile on
     [Error]s. *)
 
-type severity = Error | Warning
+type severity =
+  | Error  (** the profile or program is certainly wrong; serving refuses *)
+  | Warning  (** likely defect; promoted to failing under [vet --strict] *)
+  | Hint
+      (** advisory coverage note (e.g. an emittable-but-untrained query
+          signature); never fails, not even under [--strict] *)
 
 type t = {
   severity : severity;
@@ -27,6 +32,7 @@ val compare : t -> t -> int
 
 val errors : t list -> t list
 val warnings : t list -> t list
+val hints : t list -> t list
 
 val to_string : t -> string
 (** [error[undefined-callee] main#4: call to undefined function `frob`]. *)
@@ -35,4 +41,4 @@ val to_json : t -> string
 (** One JSON object; [block] is [null] when absent. *)
 
 val summary : t list -> string
-(** ["2 errors, 1 warning"]; ["clean"] when empty. *)
+(** ["2 errors, 1 warning, 3 hints"]; ["clean"] when empty. *)

@@ -7,10 +7,11 @@ type summary = { const_taint : bool; param_taint : bool array }
 type result = {
   labeled_blocks : int list;
   summaries : (string * summary) list;
+  entry_taint : (string * bool array) list;
 }
 
-let rec expr_taint ~tainted ~summary_of (e : Ast.expr) =
-  let sub x = expr_taint ~tainted ~summary_of x in
+let rec expr_taint ?(lib_taint = Libspec.taint_of) ~tainted ~summary_of (e : Ast.expr) =
+  let sub x = expr_taint ~lib_taint ~tainted ~summary_of x in
   match e with
   | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Null -> false
   | Ast.Var v -> tainted v
@@ -28,7 +29,7 @@ let rec expr_taint ~tainted ~summary_of (e : Ast.expr) =
           in
           s.const_taint || arg_taint 0 args
       | None -> (
-          match Libspec.taint_of name with
+          match lib_taint name with
           | Libspec.Source -> true
           | Libspec.Propagate -> List.exists sub args
           | Libspec.Clean -> false))
@@ -39,6 +40,7 @@ type state = {
   (* actual may-taint of each function's parameters, joined over all
      call sites seen so far *)
   entry_taint : (string, bool array) Hashtbl.t;
+  lib_taint : string -> Libspec.taint_kind;
 }
 
 let summary_of state name = Hashtbl.find_opt state.summaries name
@@ -62,7 +64,8 @@ let intra state (cfg : Cfg.t) (entry_env : SS.t) =
     match n.Cfg.event with
     | Cfg.E_bind (x, e) ->
         let tainted v = SS.mem v env in
-        if expr_taint ~tainted ~summary_of:(summary_of state) e then SS.add x env
+        if expr_taint ~lib_taint:state.lib_taint ~tainted ~summary_of:(summary_of state) e
+        then SS.add x env
         else SS.remove x env
     | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_cond _ | Cfg.E_return _ | Cfg.E_join ->
         env
@@ -76,7 +79,9 @@ let returns_taint state (cfg : Cfg.t) sol =
       match (Cfg.node cfg id).Cfg.event with
       | Cfg.E_return (Some e) ->
           let env = Flow.input sol id in
-          expr_taint ~tainted:(fun v -> SS.mem v env) ~summary_of:(summary_of state) e
+          expr_taint ~lib_taint:state.lib_taint
+            ~tainted:(fun v -> SS.mem v env)
+            ~summary_of:(summary_of state) e
       | Cfg.E_return None | Cfg.E_entry | Cfg.E_exit | Cfg.E_call _ | Cfg.E_bind _
       | Cfg.E_cond _ | Cfg.E_join ->
           false)
@@ -91,8 +96,10 @@ let env_of_params (cfg : Cfg.t) flags =
 let summary_equal a b =
   a.const_taint = b.const_taint && a.param_taint = b.param_taint
 
-let analyze ?(per_arg = true) cfgs =
-  let state = { summaries = Hashtbl.create 16; entry_taint = Hashtbl.create 16 } in
+let analyze ?(per_arg = true) ?(lib_taint = Libspec.taint_of) ?(label_sinks = true) cfgs =
+  let state =
+    { summaries = Hashtbl.create 16; entry_taint = Hashtbl.create 16; lib_taint }
+  in
   List.iter
     (fun (name, cfg) ->
       let n = List.length cfg.Cfg.params in
@@ -122,7 +129,8 @@ let analyze ?(per_arg = true) cfgs =
                 (fun i arg ->
                   if
                     i < Array.length flags && (not flags.(i))
-                    && expr_taint ~tainted ~summary_of:(summary_of state) arg
+                    && expr_taint ~lib_taint:state.lib_taint ~tainted
+                         ~summary_of:(summary_of state) arg
                   then begin
                     flags.(i) <- true;
                     changed := true
@@ -161,6 +169,7 @@ let analyze ?(per_arg = true) cfgs =
   done;
   (* Final labeling pass under the converged actual assumptions. *)
   let labeled = ref [] in
+  if label_sinks then
   List.iter
     (fun (_name, cfg) ->
       let actual = Hashtbl.find state.entry_taint cfg.Cfg.func in
@@ -173,7 +182,8 @@ let analyze ?(per_arg = true) cfgs =
             let tainted v = SS.mem v env in
             if
               List.exists
-                (expr_taint ~tainted ~summary_of:(summary_of state))
+                (expr_taint ~lib_taint:state.lib_taint ~tainted
+                   ~summary_of:(summary_of state))
                 site.Cfg.args
             then begin
               site.Cfg.label <- Some id;
@@ -186,5 +196,8 @@ let analyze ?(per_arg = true) cfgs =
     labeled_blocks = List.sort compare !labeled;
     summaries =
       Hashtbl.fold (fun name s acc -> (name, s) :: acc) state.summaries []
+      |> List.sort compare;
+    entry_taint =
+      Hashtbl.fold (fun name a acc -> (name, a) :: acc) state.entry_taint []
       |> List.sort compare;
   }

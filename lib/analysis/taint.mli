@@ -31,19 +31,37 @@ type summary = {
 type result = {
   labeled_blocks : int list;  (** block ids labeled as DB-output sites, sorted *)
   summaries : (string * summary) list;
+  entry_taint : (string * bool array) list;
+      (** converged {e actual} may-taint of each function's parameters,
+          joined over every call site — the entry assumptions the final
+          labeling pass ran under. Entry points never called internally
+          keep all-false. Sorted by function name. *)
 }
 
 val expr_taint :
+  ?lib_taint:(string -> Applang.Libspec.taint_kind) ->
   tainted:(string -> bool) ->
   summary_of:(string -> summary option) ->
   Applang.Ast.expr ->
   bool
 (** May the expression evaluate to targeted data, given the variable
-    taint environment and user-function summaries? *)
+    taint environment and user-function summaries? [lib_taint] selects
+    the builtin taint table (default {!Applang.Libspec.taint_of}). *)
 
-val analyze : ?per_arg:bool -> (string * Cfg.t) list -> result
+val analyze :
+  ?per_arg:bool ->
+  ?lib_taint:(string -> Applang.Libspec.taint_kind) ->
+  ?label_sinks:bool ->
+  (string * Cfg.t) list ->
+  result
 (** Runs the interprocedural fixpoint and {e mutates} the [label] field
     of sink call sites in the given CFGs. Idempotent. [per_arg]
     defaults to [true]; [false] computes whole-function boolean
     summaries (every [param_taint] bit equal), the pre-refinement
-    behavior. *)
+    behavior. [lib_taint] swaps the builtin polarity: the default tracks
+    DB-retrieved data ({!Applang.Libspec.taint_of}); pass
+    {!Applang.Libspec.untrusted_taint_of} to track attacker-controlled
+    input instead — and pass [~label_sinks:false] in that case so the
+    DB-polarity labels already applied to the shared mutable sites are
+    left untouched (sink labeling under the injection polarity is
+    meaningless; use the summaries and [entry_taint]). *)

@@ -173,7 +173,26 @@ let reachable_funcs ~entry cfgs =
     !seen
   end
 
-let check_program ?(entry = "main") cfgs =
+(* Injection findings from the static query inference: call sites where
+   attacker-controlled input reaches the SQL text itself rather than a
+   bound parameter, reported with the taint witness path. *)
+let injection_diags (static_queries : Qstatic.result) =
+  List.filter_map
+    (fun (s : Qstatic.site) ->
+      match s.Qstatic.injectable with
+      | None -> None
+      | Some path ->
+          Some
+            (Diag.make ~func:s.Qstatic.func ~block:s.Qstatic.block Diag.Warning
+               ~code:"sql-injectable-site"
+               (Printf.sprintf
+                  "untrusted input reaches SQL structure in the text passed to `%s` \
+                   (witness: %s); bind it as a query parameter instead"
+                  s.Qstatic.callee
+                  (String.concat " -> " path))))
+    static_queries.Qstatic.sites
+
+let check_program ?(entry = "main") ?static_queries cfgs =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   if not (List.mem_assoc entry cfgs) then
@@ -191,6 +210,10 @@ let check_program ?(entry = "main") cfgs =
       cfgs
   end;
   List.iter (fun (_, cfg) -> List.iter add (check_function cfg)) cfgs;
+  let static_queries =
+    match static_queries with Some r -> r | None -> Qstatic.infer ~entry cfgs
+  in
+  List.iter add (injection_diags static_queries);
   List.sort Diag.compare !diags
 
 (* --- static facts for profile coverage -------------------------------------- *)
@@ -215,7 +238,39 @@ let facts ?(entry = "main") cfgs =
     cfgs;
   { entry; symbols = !symbols; pairs = List.sort_uniq compare !pairs }
 
-let check_coverage ?automaton ?(model_ngrams = []) facts ~alphabet ~known_pairs =
+(* Trained signatures outside a complete static set cannot come from
+   this program (error); statically emittable signatures the profile
+   never saw are coverage gaps (hint — any finite training run
+   under-samples the emittable set). *)
+let check_qsig_coverage ~(static_queries : Qstatic.result) ~trained_signatures =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let sq = static_queries in
+  if sq.Qstatic.complete then
+    List.iter
+      (fun s ->
+        if not (List.mem s sq.Qstatic.signatures) then
+          add
+            (Diag.make Diag.Error ~code:"qsig-impossible-signature"
+               (Printf.sprintf
+                  "trained query signature `%s` cannot be produced by any \
+                   reachable call site"
+                  s)))
+      trained_signatures;
+  List.iter
+    (fun s ->
+      if not (List.mem s trained_signatures) then
+        add
+          (Diag.make Diag.Hint ~code:"qsig-uncovered-signature"
+             (Printf.sprintf
+                "the program can emit query signature `%s`, never observed in \
+                 training"
+                s)))
+    sq.Qstatic.signatures;
+  List.sort Diag.compare !diags
+
+let check_coverage ?automaton ?(model_ngrams = []) ?static_queries ?trained_signatures
+    facts ~alphabet ~known_pairs =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let observable_only = List.filter (function Symbol.Entry | Symbol.Exit -> false | _ -> true) in
@@ -277,4 +332,10 @@ let check_coverage ?automaton ?(model_ngrams = []) facts ~alphabet ~known_pairs 
                     "model-supported sequence [%s] is statically impossible"
                     (String.concat "; " (List.map Symbol.to_string ngram)))))
         model_ngrams);
+  (* The query-axis cross-check: the qsig profile against the statically
+     inferred signature sets (see {!Qstatic}). *)
+  (match (static_queries, trained_signatures) with
+  | Some sq, Some trained ->
+      List.iter add (check_qsig_coverage ~static_queries:sq ~trained_signatures:trained)
+  | _ -> ());
   List.sort Diag.compare !diags

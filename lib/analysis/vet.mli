@@ -19,8 +19,26 @@
 
     Defect classes are {!Diag.t} codes: [dead-code],
     [use-before-init], [undefined-callee], [no-exit-loop], [no-entry],
-    [unreachable-function], [profile-symbol-unreachable],
-    [profile-pair-impossible], [uncovered-symbol], [uncovered-pair].
+    [unreachable-function], [sql-injectable-site],
+    [profile-symbol-unreachable], [profile-pair-impossible],
+    [uncovered-symbol], [uncovered-pair], [profile-ngram-impossible],
+    [qsig-impossible-signature], [qsig-uncovered-signature].
+
+    Severity levels and their CLI/serving semantics:
+
+    {ul
+    {- {!Diag.Error} — the profile cannot belong to this program
+       (unreachable symbols, impossible pairs, statically impossible
+       trained query signatures). [adprom vet] exits non-zero;
+       [Profile_check.apply Enforce] refuses to serve.}
+    {- {!Diag.Warning} — a likely defect or training gap (dead code,
+       injectable SQL call sites, uncovered symbols/pairs). [adprom vet]
+       exits zero unless [--strict] promotes warnings to failing.}
+    {- {!Diag.Hint} — advisory coverage notes, today the
+       emittable-but-untrained query signatures
+       ([qsig-uncovered-signature]). Hints never fail, not even under
+       [--strict]: a program typically {e can} emit more signatures
+       than any finite training run exercises.}}
 
     Run {!Taint.analyze} on the CFGs {e before} {!facts} so DB-output
     labels are in place — coverage compares labeled symbols. *)
@@ -39,18 +57,33 @@ val check_function : Cfg.t -> Diag.t list
 (** Intraprocedural checks: dead code, use-before-init,
     undefined callees, no-exit loops. Sorted with {!Diag.compare}. *)
 
-val check_program : ?entry:string -> (string * Cfg.t) list -> Diag.t list
+val check_program :
+  ?entry:string -> ?static_queries:Qstatic.result -> (string * Cfg.t) list -> Diag.t list
 (** All per-function checks plus whole-program ones: a missing [entry]
-    function (default ["main"]) and functions unreachable from it.
-    Sorted. *)
+    function (default ["main"]), functions unreachable from it, and
+    [sql-injectable-site] warnings from the static query inference
+    (computed on the given CFGs unless a precomputed [static_queries]
+    result is passed). Sorted. *)
 
 val facts : ?entry:string -> (string * Cfg.t) list -> facts
 (** The statically possible behaviour. When [entry] is absent from
     [cfgs], every function is treated as a root (conservative). *)
 
+val check_qsig_coverage :
+  static_queries:Qstatic.result -> trained_signatures:string list -> Diag.t list
+(** The query-axis cross-check on its own: trained signatures outside a
+    [complete] static set are [qsig-impossible-signature] errors (the
+    program provably cannot emit them, so the profile was trained on
+    other traffic); statically emittable signatures absent from the
+    trained set are [qsig-uncovered-signature] hints. An incomplete
+    static set never produces errors. Also runs inside
+    {!check_coverage} when both optional arguments are given. *)
+
 val check_coverage :
   ?automaton:(Symbol.t list -> bool) ->
   ?model_ngrams:Symbol.t list list ->
+  ?static_queries:Qstatic.result ->
+  ?trained_signatures:string list ->
   facts ->
   alphabet:Symbol.t list ->
   known_pairs:(string * Symbol.t) list ->

@@ -82,3 +82,17 @@ let is_sink name = match find name with Some s -> s.is_sink | None -> false
 let is_source name = match find name with Some s -> s.taint = Source | None -> false
 let taint_of name = match find name with Some s -> s.taint | None -> Clean
 let is_builtin name = find name <> None
+
+(* The second taint polarity: attacker-controlled input rather than
+   DB-retrieved data. Integer-valued builtins ([atoi], [scanf_int],
+   [strlen], ...) sanitize — a value rendered as digits cannot alter SQL
+   structure — so they are deliberately absent from the propagate set. *)
+let untrusted_sources = [ "scanf"; "getline"; "fgets"; "http_method"; "http_path"; "http_param" ]
+
+let untrusted_propagators =
+  [ "strcpy"; "strcat"; "substr"; "to_string"; "sprintf"; "snprintf" ]
+
+let untrusted_taint_of name =
+  if List.mem name untrusted_sources then Source
+  else if List.mem name untrusted_propagators then Propagate
+  else Clean

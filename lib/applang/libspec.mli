@@ -28,4 +28,13 @@ val is_builtin : string -> bool
 (** Known builtin, including the synthetic [lib_*] no-ops used by the
     SIR-scale program generator. *)
 
+val untrusted_taint_of : string -> taint_kind
+(** The injection polarity: which builtins return {e attacker-controlled}
+    input ([scanf], [getline], [fgets], [http_method], [http_path],
+    [http_param]) and which string builtins propagate it. Integer-valued
+    builtins ([atoi], [scanf_int], [strlen], ...) sanitize: a value
+    rendered as digits cannot change SQL structure. This is the dual of
+    {!taint_of}, which tracks DB-retrieved data flowing {e out} of the
+    program; here we track untrusted data flowing {e into} SQL text. *)
+
 val all : spec list

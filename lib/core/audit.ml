@@ -33,7 +33,9 @@ let finding_to_string = function
 let constraint_reasons verdict =
   List.filter
     (function
-      | Adprom_qsig.Engine.Unknown_signature _ | Adprom_qsig.Engine.Malformed _ ->
+      | Adprom_qsig.Engine.Unknown_signature _
+      | Adprom_qsig.Engine.Impossible_signature _
+      | Adprom_qsig.Engine.Malformed _ ->
           false
       | Adprom_qsig.Engine.Tautology | Adprom_qsig.Engine.Constant_comparison
       | Adprom_qsig.Engine.Slot_violation _

@@ -1,5 +1,6 @@
 type reason =
   | Unknown_signature of string
+  | Impossible_signature of string
   | Malformed of string
   | Tautology
   | Constant_comparison
@@ -12,6 +13,8 @@ let normal = { anomalous = false; reasons = [] }
 
 let reason_to_string = function
   | Unknown_signature s -> Printf.sprintf "unknown signature %s" s
+  | Impossible_signature s ->
+      Printf.sprintf "statically impossible signature %s" s
   | Malformed msg -> Printf.sprintf "unparseable query (%s)" msg
   | Tautology -> "tautology-widened WHERE clause"
   | Constant_comparison -> "constant comparison in WHERE clause"
@@ -24,9 +27,21 @@ let verdict_to_string v =
   else String.concat "; " (List.map reason_to_string v.reasons)
 
 (* Everything derivable from the query text alone — signature lookup,
-   widening warnings, slot-constraint checks — is memoized per raw
-   text; only the cardinality band is applied per call. *)
-type compiled = { static_reasons : reason list; band : Constraints.band option }
+   widening warnings, slot-constraint checks, the static-gate verdict —
+   is memoized per raw text; only the cardinality band is applied per
+   call. [gate_impossible] holds the canonical signature when the
+   loaded static set proves the program cannot emit it. *)
+type compiled = {
+  static_reasons : reason list;
+  band : Constraints.band option;
+  gate_impossible : string option;
+}
+
+(* The signature set Qstatic inferred for the monitored program. Only a
+   [complete] set (no open call sites) may reject: an open site means
+   the inference lost track of some query text, so absence proves
+   nothing. *)
+type static = { static_set : (string, unit) Hashtbl.t; static_complete : bool }
 
 type t = {
   profile : Profile.t;
@@ -40,6 +55,10 @@ type t = {
   mutable checks : int;
   mutable anomalies : int;
   mutable parse_errors : int;
+  mutable static : static option;
+  mutable gate_enforce : bool;
+  mutable gate_checks : int;
+  mutable gate_rejections : int;
 }
 
 let default_memo_capacity = 4096
@@ -71,20 +90,33 @@ let create ?(policy = Constraints.Strict) ?(memo_capacity = default_memo_capacit
     checks = 0;
     anomalies = 0;
     parse_errors = 0;
+    static = None;
+    gate_enforce = false;
+    gate_checks = 0;
+    gate_rejections = 0;
   }
 
 let profile t = t.profile
 let policy t = t.policy
 let signature_count t = Array.length t.entries
 
+let gate_verdict t key =
+  match t.static with
+  | Some { static_set; static_complete = true }
+    when not (Hashtbl.mem static_set key) ->
+      Some key
+  | _ -> None
+
 let compile t sql =
   match Sqldb.Sql_parser.parse sql with
   | exception Sqldb.Sql_parser.Error msg ->
       t.parse_errors <- t.parse_errors + 1;
-      { static_reasons = [ Malformed msg ]; band = None }
+      (* Malformed texts are never gate-rejected: they already carry a
+         Malformed anomaly and have no canonical signature to test. *)
+      { static_reasons = [ Malformed msg ]; band = None; gate_impossible = None }
   | exception Sqldb.Sql_lexer.Error msg ->
       t.parse_errors <- t.parse_errors + 1;
-      { static_reasons = [ Malformed msg ]; band = None }
+      { static_reasons = [ Malformed msg ]; band = None; gate_impossible = None }
   | stmt -> (
       let widening =
         List.map
@@ -94,8 +126,14 @@ let compile t sql =
           (Signature.widening_warnings stmt)
       in
       let key = Signature.to_string (Signature.of_statement stmt) in
+      let gate_impossible = gate_verdict t key in
       match Hashtbl.find_opt t.codes key with
-      | None -> { static_reasons = widening @ [ Unknown_signature key ]; band = None }
+      | None ->
+          {
+            static_reasons = widening @ [ Unknown_signature key ];
+            band = None;
+            gate_impossible;
+          }
       | Some code ->
           let entry = t.entries.(code) in
           let observed = Signature.slots stmt in
@@ -110,6 +148,7 @@ let compile t sql =
           {
             static_reasons = widening @ List.rev !violations;
             band = Some entry.Profile.band;
+            gate_impossible;
           })
 
 let lookup t sql =
@@ -131,19 +170,32 @@ let lookup t sql =
 let check ?rows t sql =
   t.checks <- t.checks + 1;
   let c = lookup t sql in
-  let reasons =
-    match (rows, c.band) with
-    | Some rows, Some band -> (
-        match Constraints.band_check t.policy band rows with
-        | Some (lo, hi) -> c.static_reasons @ [ Cardinality_blowup { rows; lo; hi } ]
-        | None -> c.static_reasons)
-    | _ -> c.static_reasons
-  in
-  if reasons = [] then normal
-  else begin
-    t.anomalies <- t.anomalies + 1;
-    { anomalous = true; reasons }
-  end
+  if t.static <> None then t.gate_checks <- t.gate_checks + 1;
+  match c.gate_impossible with
+  | Some key when t.gate_enforce ->
+      (* Enforce short-circuits before the constraint layer: the program
+         provably cannot emit this shape, so slot/band detail is moot. *)
+      t.gate_rejections <- t.gate_rejections + 1;
+      t.anomalies <- t.anomalies + 1;
+      { anomalous = true; reasons = [ Impossible_signature key ] }
+  | gate ->
+      (* Explain mode counts the would-be rejection but leaves the
+         verdict bit-for-bit what the ungated engine produces. *)
+      if gate <> None then t.gate_rejections <- t.gate_rejections + 1;
+      let reasons =
+        match (rows, c.band) with
+        | Some rows, Some band -> (
+            match Constraints.band_check t.policy band rows with
+            | Some (lo, hi) ->
+                c.static_reasons @ [ Cardinality_blowup { rows; lo; hi } ]
+            | None -> c.static_reasons)
+        | _ -> c.static_reasons
+      in
+      if reasons = [] then normal
+      else begin
+        t.anomalies <- t.anomalies + 1;
+        { anomalous = true; reasons }
+      end
 
 let check_log t log = List.map (fun (sql, rows) -> check ~rows t sql) log
 
@@ -154,6 +206,24 @@ let memo_hits t = t.memo_hits
 let memo_misses t = t.memo_misses
 let memo_len t = Hashtbl.length t.memo
 let invalidate t = Hashtbl.reset t.memo
+
+let set_static_signatures t ~complete keys =
+  let static_set = Hashtbl.create (List.length keys * 2) in
+  List.iter (fun k -> Hashtbl.replace static_set k ()) keys;
+  t.static <- Some { static_set; static_complete = complete };
+  (* Memoized entries were compiled against the previous (or no) static
+     set; their cached gate verdicts are stale. *)
+  invalidate t
+
+let clear_static_signatures t =
+  t.static <- None;
+  invalidate t
+
+let static_signatures_loaded t = t.static <> None
+let set_gate_enforce t on = t.gate_enforce <- on
+let gate_enforced t = t.gate_enforce
+let gate_checks t = t.gate_checks
+let gate_rejections t = t.gate_rejections
 
 module Scorer = struct
   type engine = t

@@ -16,6 +16,10 @@
 
 type reason =
   | Unknown_signature of string  (** a shape never seen in training *)
+  | Impossible_signature of string
+      (** rejected by the static gate: the monitored program's code
+          cannot emit this signature, so the query came from somewhere
+          else (injection, MITM, or a cross-program profile) *)
   | Malformed of string  (** unparseable query text *)
   | Tautology  (** WHERE true regardless of row data (Attack 5 shape) *)
   | Constant_comparison  (** a literal-to-literal comparison in WHERE *)
@@ -62,6 +66,44 @@ val memo_len : t -> int
 
 val invalidate : t -> unit
 (** Drop the memo (counters are preserved). *)
+
+(** {2 Static-signature gate}
+
+    The pre-scoring gate over {!Analysis.Qstatic} results, mirroring
+    [Adprom.Scoring.set_static_dfa] on the sequence axis. Load the
+    program's statically inferred signature set with
+    {!set_static_signatures}; every {!check} then counts one gate check
+    and, when the query's canonical signature is provably outside the
+    set, one gate rejection. In explain mode (the default) the verdict
+    is bit-for-bit what the ungated engine returns — only the counters
+    move. Under {!set_gate_enforce} the check short-circuits before the
+    constraint layer with an [Impossible_signature] anomaly.
+
+    An incomplete static set ([complete:false] — the inference left an
+    open call site) never rejects: absence from an under-approximated
+    set proves nothing. Malformed texts are never gate-rejected. *)
+
+val set_static_signatures : t -> complete:bool -> string list -> unit
+(** Install the static signature set (flushes the memo — cached gate
+    verdicts would be stale). *)
+
+val clear_static_signatures : t -> unit
+(** Remove the static set; the gate becomes inert. *)
+
+val static_signatures_loaded : t -> bool
+
+val set_gate_enforce : t -> bool -> unit
+(** [false] (default) is explain mode; [true] turns gate hits into
+    [Impossible_signature] anomalies. *)
+
+val gate_enforced : t -> bool
+
+val gate_checks : t -> int
+(** Checks performed while a static set was loaded. *)
+
+val gate_rejections : t -> int
+(** Gate hits — would-be rejections in explain mode, actual anomalies
+    under enforce. *)
 
 module Scorer : sig
   (** Per-session streaming checker: one [push] per executed query.

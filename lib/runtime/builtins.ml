@@ -130,7 +130,7 @@ let write_out buffer s =
   Rvalue.int (String.length s)
 
 let record_query (st : Istate.t) sql =
-  st.Istate.queries <- sql :: st.Istate.queries;
+  Istate.push_query st sql;
   sql
 
 let rows_of_result = function
@@ -142,7 +142,7 @@ let rows_of_result = function
    result cardinality — the view a server-side audit log would have,
    which is what the query-signature axis scores. *)
 let log_query (st : Istate.t) sql result =
-  st.Istate.query_log <- (sql, rows_of_result result) :: st.Istate.query_log;
+  Istate.push_query_log st sql (rows_of_result result);
   result
 
 (* File-level data-flow tracking (the Sec. VII mitigation): when an

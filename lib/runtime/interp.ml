@@ -241,8 +241,8 @@ let run ?(collector = Collector.null) ?(patches = []) ?(max_steps = 1_000_000)
     stdout = Buffer.contents st.Istate.stdout;
     files = Istate.written st;
     system_calls = List.rev st.Istate.system_calls;
-    queries = List.rev st.Istate.queries;
-    query_log = List.rev st.Istate.query_log;
+    queries = Istate.queries st;
+    query_log = Istate.query_log st;
     tainted_files = List.rev st.Istate.tainted_paths;
     responses = Buffer.contents st.Istate.responses;
     steps = st.Istate.steps;

@@ -9,8 +9,8 @@ type t = {
   written_files : (string, Buffer.t) Hashtbl.t;
   stdout : Buffer.t;
   mutable system_calls : string list;
-  mutable queries : string list;
-  mutable query_log : (string * int) list;
+  mutable queries_rev : string list;
+  mutable query_log_rev : (string * int) list;
   mutable tainted_paths : string list;
   mutable pending_requests : Testcase.request list;
   mutable current_request : Testcase.request option;
@@ -32,8 +32,8 @@ let create ?(query_rewriter = fun sql -> sql) ~engine ~max_steps (tc : Testcase.
     written_files = Hashtbl.create 8;
     stdout = Buffer.create 256;
     system_calls = [];
-    queries = [];
-    query_log = [];
+    queries_rev = [];
+    query_log_rev = [];
     tainted_paths = [];
     pending_requests = tc.Testcase.requests;
     current_request = None;
@@ -60,3 +60,8 @@ let next_input t =
 let written t =
   Hashtbl.fold (fun path buf acc -> (path, Buffer.contents buf) :: acc) t.written_files []
   |> List.sort compare
+
+let push_query t sql = t.queries_rev <- sql :: t.queries_rev
+let push_query_log t sql rows = t.query_log_rev <- (sql, rows) :: t.query_log_rev
+let queries t = List.rev t.queries_rev
+let query_log t = List.rev t.query_log_rev

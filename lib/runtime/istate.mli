@@ -15,11 +15,14 @@ type t = {
   written_files : (string, Buffer.t) Hashtbl.t;  (** contents written per path *)
   stdout : Buffer.t;
   mutable system_calls : string list;  (** commands passed to [system], reversed *)
-  mutable queries : string list;  (** raw SQL texts submitted to the DB, reversed *)
-  mutable query_log : (string * int) list;
+  mutable queries_rev : string list;
+      (** raw SQL texts submitted to the DB, newest first — an internal
+          accumulator; read through {!queries} for program order *)
+  mutable query_log_rev : (string * int) list;
       (** executed queries with parameters bound into the text, paired
           with their result cardinality (row count or affected rows;
-          0 on error), reversed. Feeds the query-signature axis. *)
+          0 on error), newest first. Read through {!query_log}. Feeds
+          the query-signature axis. *)
   mutable tainted_paths : string list;
       (** files that received targeted data through an output call *)
   mutable pending_requests : Testcase.request list;
@@ -50,3 +53,15 @@ val next_input : t -> string
 
 val written : t -> (string * string) list
 (** Final contents of files written during the run, sorted by path. *)
+
+val push_query : t -> string -> unit
+(** Append one raw SQL text to the query accumulator. *)
+
+val push_query_log : t -> string -> int -> unit
+(** Append one executed (bound SQL, cardinality) pair. *)
+
+val queries : t -> string list
+(** Raw SQL texts submitted so far, oldest first (program order). *)
+
+val query_log : t -> (string * int) list
+(** Executed (bound SQL, cardinality) pairs, oldest first. *)

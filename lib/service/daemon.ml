@@ -130,7 +130,7 @@ let flag_counter_names =
 let shard_of t session = Hashtbl.hash session mod Array.length t.shards
 
 let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
-    ~qsig ~metrics ~alerts ~ring shard =
+    ~qsig ~qsig_static ~metrics ~alerts ~ring shard =
   (* one compiled engine per worker domain: every session of this shard
      shares its interned tables and verdict memo *)
   let engine = Scoring.create profile in
@@ -147,7 +147,13 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
     match qsig with
     | None -> None
     | Some (qprofile, policy) ->
-        Some (Adprom_qsig.Engine.create ~policy qprofile)
+        let qe = Adprom_qsig.Engine.create ~policy qprofile in
+        (match qsig_static with
+        | Some (sigs, complete, enforce) ->
+            Adprom_qsig.Engine.set_static_signatures qe ~complete sigs;
+            Adprom_qsig.Engine.set_gate_enforce qe enforce
+        | None -> ());
+        Some qe
   in
   let qsig_scorers : (int, Adprom_qsig.Engine.Scorer.t) Hashtbl.t =
     Hashtbl.create 16
@@ -173,8 +179,15 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
   let c_qsig_anomalies =
     Metrics.counter metrics "adprom_qsig_anomalies_total"
   in
+  let c_qgate_checks =
+    Metrics.counter metrics "adprom_qsig_gate_checks_total"
+  in
+  let c_qgate_rejections =
+    Metrics.counter metrics "adprom_qsig_gate_rejections_total"
+  in
   let seen_hits = ref 0 and seen_misses = ref 0 in
   let seen_gate_checks = ref 0 and seen_gate_rejections = ref 0 in
+  let seen_qgate_checks = ref 0 and seen_qgate_rejections = ref 0 in
   let sync_cache_counters () =
     let h = Scoring.cache_hits engine and m = Scoring.cache_misses engine in
     if h > !seen_hits then begin
@@ -193,7 +206,20 @@ let worker ~idx ~profile ~static_pairs ~static_auto ~gate_enforce ~keep_verdicts
     if gr > !seen_gate_rejections then begin
       Metrics.incr ~by:(gr - !seen_gate_rejections) c_gate_rejections;
       seen_gate_rejections := gr
-    end
+    end;
+    match qsig_engine with
+    | None -> ()
+    | Some qe ->
+        let qc = Adprom_qsig.Engine.gate_checks qe
+        and qr = Adprom_qsig.Engine.gate_rejections qe in
+        if qc > !seen_qgate_checks then begin
+          Metrics.incr ~by:(qc - !seen_qgate_checks) c_qgate_checks;
+          seen_qgate_checks := qc
+        end;
+        if qr > !seen_qgate_rejections then begin
+          Metrics.incr ~by:(qr - !seen_qgate_rejections) c_qgate_rejections;
+          seen_qgate_rejections := qr
+        end
   in
   let account session scorer verdict =
     Metrics.incr c_windows;
@@ -383,7 +409,8 @@ let default_ring_capacity = 256
 let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     ?(ring_capacity = default_ring_capacity) ?metrics ?alerts ?vet_against
     ?(vet_policy = Adprom.Profile_check.Warn) ?(static_gate = Gate_explain)
-    ?(qsig_mode = Qsig_off) ?qsig_profile profile =
+    ?(qsig_mode = Qsig_off) ?qsig_profile
+    ?(qsig_static_gate = Gate_explain) profile =
   if shards < 1 then invalid_arg "Daemon.create: need at least one shard";
   if queue_capacity < 0 then invalid_arg "Daemon.create: negative queue capacity";
   if ring_capacity < 0 then invalid_arg "Daemon.create: negative ring capacity";
@@ -421,6 +448,7 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
               match d.Diag.severity with
               | Diag.Error -> Olog.Warn
               | Diag.Warning -> Olog.Info
+              | Diag.Hint -> Olog.Debug
             in
             if Olog.enabled level then
               Olog.emit level ~scope:"daemon"
@@ -451,6 +479,8 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
   ignore (Metrics.counter metrics "adprom_dfa_gate_rejections_total");
   ignore (Metrics.counter metrics "adprom_qsig_checks_total");
   ignore (Metrics.counter metrics "adprom_qsig_anomalies_total");
+  ignore (Metrics.counter metrics "adprom_qsig_gate_checks_total");
+  ignore (Metrics.counter metrics "adprom_qsig_gate_rejections_total");
   (* The query axis needs both a mode and a trained profile; workers
      snapshot the profile before any domain spawns so later mutation by
      the caller cannot race the checkers. *)
@@ -459,6 +489,22 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
     | Qsig_off, _ | _, None -> None
     | (Qsig_warn | Qsig_enforce), Some qprofile ->
         Some (Adprom_qsig.Profile.copy qprofile, qsig_policy_of_mode qsig_mode)
+  in
+  (* The static query-signature set (the query axis' analogue of the
+     call-sequence DFA) is inferred once before any domain spawns;
+     workers install it into their qsig engines. Inert without both a
+     program to infer from and an active query axis. *)
+  let qsig_static =
+    match (vet_against, qsig, qsig_static_gate) with
+    | Some analysis, Some _, (Gate_explain | Gate_enforce) ->
+        let sq =
+          Analysis.Qstatic.infer analysis.Analysis.Analyzer.pruned_cfgs
+        in
+        Some
+          ( sq.Analysis.Qstatic.signatures,
+            sq.Analysis.Qstatic.complete,
+            qsig_static_gate = Gate_enforce )
+    | (None, _, _ | _, None, _ | _, _, Gate_off) -> None
   in
   let shard_array =
     Array.init shards (fun i ->
@@ -480,7 +526,7 @@ let create ?(shards = 4) ?(queue_capacity = 4096) ?(keep_verdicts = true)
         Domain.spawn (fun () ->
             worker ~idx ~profile ~static_pairs ~static_auto
               ~gate_enforce:(static_gate = Gate_enforce) ~keep_verdicts ~qsig
-              ~metrics ~alerts ~ring:rings.(idx) shard))
+              ~qsig_static ~metrics ~alerts ~ring:rings.(idx) shard))
       shard_array
   in
   {

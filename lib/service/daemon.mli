@@ -83,6 +83,7 @@ val create :
   ?static_gate:gate_mode ->
   ?qsig_mode:qsig_mode ->
   ?qsig_profile:Adprom_qsig.Profile.t ->
+  ?qsig_static_gate:gate_mode ->
   Adprom.Profile.t ->
   t
 (** Spawn the worker domains. Defaults: 4 shards, queue capacity 4096,
@@ -118,6 +119,19 @@ val create :
     {!Alerts} sink as [Query_verdict] incidents and count toward
     [adprom_qsig_checks_total] / [adprom_qsig_anomalies_total];
     sequence-axis verdicts are bit-for-bit unaffected by the mode.
+
+    [qsig_static_gate] (default [Gate_explain]) is the query axis'
+    analogue of [static_gate]: with [vet_against] and an active query
+    axis, the program's statically inferable signature set
+    ({!Analysis.Qstatic}) is computed once before the domains spawn and
+    loaded into every worker's qsig engine
+    ({!Adprom_qsig.Engine.set_static_signatures}). Gate traffic is
+    exported as [adprom_qsig_gate_checks_total] /
+    [adprom_qsig_gate_rejections_total]. Under [Gate_explain] query
+    verdicts stay bit-for-bit identical to [Gate_off]; under
+    [Gate_enforce] a query whose signature the program provably cannot
+    emit short-circuits to an [Impossible_signature] anomaly. Inert
+    without [vet_against] or without [qsig_mode]+[qsig_profile].
 
     @raise Invalid_argument on [shards < 1], a negative capacity, or a
     profile failing vet under [Enforce]. *)

@@ -23,21 +23,24 @@ let finish daemon t0 =
   }
 
 let run ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts ?vet_against
-    ?vet_policy ?static_gate ?qsig_mode ?qsig_profile profile stream =
+    ?vet_policy ?static_gate ?qsig_mode ?qsig_profile ?qsig_static_gate profile
+    stream =
   let daemon =
     Daemon.create ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts
-      ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile profile
+      ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile
+      ?qsig_static_gate profile
   in
   let t0 = Unix.gettimeofday () in
   Array.iter (fun ev -> ignore (Daemon.ingest daemon ev)) stream;
   finish daemon t0
 
 let run_items ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts
-    ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile profile items
-    =
+    ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile
+    ?qsig_static_gate profile items =
   let daemon =
     Daemon.create ?shards ?queue_capacity ?keep_verdicts ?metrics ?alerts
-      ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile profile
+      ?vet_against ?vet_policy ?static_gate ?qsig_mode ?qsig_profile
+      ?qsig_static_gate profile
   in
   let t0 = Unix.gettimeofday () in
   Array.iter (fun it -> ignore (Daemon.ingest_item daemon it)) items;

@@ -26,6 +26,7 @@ val run :
   ?static_gate:Daemon.gate_mode ->
   ?qsig_mode:Daemon.qsig_mode ->
   ?qsig_profile:Adprom_qsig.Profile.t ->
+  ?qsig_static_gate:Daemon.gate_mode ->
   Adprom.Profile.t ->
   Codec.event array ->
   outcome
@@ -35,7 +36,8 @@ val run :
     call-sequence automaton is loaded into the workers) before replay
     starts. [qsig_mode]/[qsig_profile] likewise arm the query axis —
     inert on a pure event stream; use {!run_items} or {!of_text} for
-    mixed streams. *)
+    mixed streams. [qsig_static_gate] arms the query axis' static
+    signature gate (needs [vet_against] and an armed query axis). *)
 
 val run_items :
   ?shards:int ->
@@ -48,6 +50,7 @@ val run_items :
   ?static_gate:Daemon.gate_mode ->
   ?qsig_mode:Daemon.qsig_mode ->
   ?qsig_profile:Adprom_qsig.Profile.t ->
+  ?qsig_static_gate:Daemon.gate_mode ->
   Adprom.Profile.t ->
   Codec.item array ->
   outcome

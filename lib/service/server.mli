@@ -52,6 +52,7 @@ val serve :
   ?static_gate:Daemon.gate_mode ->
   ?qsig_mode:Daemon.qsig_mode ->
   ?qsig_profile:Adprom_qsig.Profile.t ->
+  ?qsig_static_gate:Daemon.gate_mode ->
   Adprom.Profile.t ->
   Replay.outcome
 (** Create the daemon (options as {!Daemon.create}), serve [socket]

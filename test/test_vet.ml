@@ -56,6 +56,18 @@ let test_fixture_use_before_init =
     [ "warning[use-before-init] main#9: variable `label` may be used before \
        initialization" ]
 
+(* The injectable/prepared twins: same lookup, the only difference is
+   whether the user-supplied id is concatenated into the SQL text or
+   bound as a statement parameter. *)
+let test_fixture_sqli_concat =
+  check_golden "sqli_concat.app"
+    [ "warning[sql-injectable-site] main#9: untrusted input reaches SQL \
+       structure in the text passed to `mysql_query` (witness: scanf -> acc -> \
+       q); bind it as a query parameter instead" ]
+
+let test_fixture_sqli_prepared =
+  check_golden "sqli_prepared.app" []
+
 (* --- suppression: loops with a genuine way out are not flagged ----------- *)
 
 let has_code code diags = List.exists (fun d -> d.Diag.code = code) diags
@@ -287,6 +299,8 @@ let () =
           Alcotest.test_case "unreachable-function" `Quick
             test_fixture_unreachable_function;
           Alcotest.test_case "use-before-init" `Quick test_fixture_use_before_init;
+          Alcotest.test_case "sqli-concat" `Quick test_fixture_sqli_concat;
+          Alcotest.test_case "sqli-prepared" `Quick test_fixture_sqli_prepared;
         ] );
       ( "loops",
         [
